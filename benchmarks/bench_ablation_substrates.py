@@ -1,0 +1,83 @@
+"""Ablation / substrate micro-benchmarks.
+
+These are not paper figures; they quantify the design choices DESIGN.md calls
+out — conversion overhead per backend, the in-memory SQL engine, the sandbox,
+and the paper-scale MALT generator — so a downstream user can see what each
+representation costs.
+"""
+
+import pytest
+
+from repro.benchmark.queries import query_by_id
+from repro.core import NetworkManagementPipeline
+from repro.graph.convert import to_frames, to_networkx, to_sql_database
+from repro.llm import create_provider
+from repro.malt import paper_scale_topology
+from repro.sandbox import ExecutionSandbox
+from repro.traffic import TrafficAnalysisApplication, generate_communication_graph
+
+
+@pytest.fixture(scope="module")
+def traffic_graph():
+    return generate_communication_graph(node_count=200, edge_count=400, seed=7)
+
+
+@pytest.fixture(scope="module")
+def traffic_application():
+    return TrafficAnalysisApplication.with_size(40, 40)
+
+
+def test_generate_traffic_graph(benchmark):
+    graph = benchmark(generate_communication_graph, node_count=200, edge_count=400, seed=7)
+    assert graph.node_count == 200
+
+
+def test_generate_paper_scale_malt(benchmark):
+    graph = benchmark.pedantic(paper_scale_topology, rounds=1, iterations=1)
+    assert graph.node_count == 5493
+
+
+def test_convert_to_networkx(benchmark, traffic_graph):
+    nx_graph = benchmark(to_networkx, traffic_graph)
+    assert nx_graph.number_of_edges() == 400
+
+
+def test_convert_to_frames(benchmark, traffic_graph):
+    nodes_df, edges_df = benchmark(to_frames, traffic_graph)
+    assert len(nodes_df) == 200 and len(edges_df) == 400
+
+
+def test_convert_to_sql(benchmark, traffic_graph):
+    database = benchmark(to_sql_database, traffic_graph)
+    assert database.execute("SELECT COUNT(*) FROM edges").scalar() == 400
+
+
+def test_sql_group_by_join(benchmark, traffic_graph):
+    database = to_sql_database(traffic_graph)
+    query = ("SELECT n.type AS t, SUM(bytes) AS total FROM edges "
+             "JOIN nodes n ON source = n.id GROUP BY n.type ORDER BY total DESC")
+    result = benchmark(database.execute, query)
+    assert len(result) >= 1
+
+
+def test_sandbox_execution_overhead(benchmark, traffic_graph):
+    sandbox = ExecutionSandbox()
+    code = "result = sum(d.get('bytes', 0) for _, _, d in G.edges(data=True))"
+    namespace = {"G": to_networkx(traffic_graph)}
+    outcome = benchmark(sandbox.execute, code, dict(namespace))
+    assert outcome.success
+
+
+def test_end_to_end_pipeline_networkx(benchmark, traffic_application):
+    pipeline = NetworkManagementPipeline(traffic_application, create_provider("gpt-4"),
+                                         "networkx")
+    query = query_by_id("ta-m5")
+    result = benchmark(pipeline.run_query, query.text)
+    assert result.succeeded
+
+
+def test_end_to_end_pipeline_sql(benchmark, traffic_application):
+    pipeline = NetworkManagementPipeline(traffic_application, create_provider("gpt-4"), "sql")
+    query = query_by_id("ta-e1")
+    result = benchmark(pipeline.run_query, query.text)
+    assert result.succeeded

@@ -1,0 +1,50 @@
+"""Paper Figure 4a — CDF of LLM cost per query at 80 nodes+edges.
+
+Uses real token counts of the prompts this repository builds and GPT-4 Azure
+pricing.  The reproduction target is the shape: the strawman approach is a
+multiple of the code-generation cost at this graph size, and the
+code-generation cost stays well under the paper's $0.2-per-query bound.
+"""
+
+import pytest
+
+from helpers import PAPER_FIG4, write_result
+from repro.cost import CostAnalyzer
+from repro.utils.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def cdfs():
+    return CostAnalyzer(model="gpt-4").cost_cdf(node_count=40, edge_count=40,
+                                                backends=("networkx", "strawman"))
+
+
+def test_fig4a_cost_cdf(benchmark, cdfs):
+    analyzer = CostAnalyzer(model="gpt-4")
+    benchmark.pedantic(lambda: analyzer.cost_cdf(node_count=40, edge_count=40,
+                                                 backends=("networkx",)),
+                       rounds=1, iterations=1)
+
+    rows = []
+    for backend, cdf in cdfs.items():
+        for cost, fraction in cdf.points(num_points=12):
+            rows.append([backend, round(cost, 4), round(fraction, 3)])
+    summary_rows = [[backend, cdf.mean, cdf.max] for backend, cdf in cdfs.items()]
+    output = "\n\n".join([
+        format_table(["approach", "cost ($)", "CDF"], rows,
+                     title="Figure 4a — per-query cost CDF (80 nodes+edges, GPT-4 pricing)",
+                     float_format="{:.4f}"),
+        format_table(["approach", "mean ($)", "max ($)"], summary_rows,
+                     float_format="{:.4f}"),
+    ])
+    write_result("fig4a_cost_cdf", output)
+
+    codegen = cdfs["networkx"]
+    strawman = cdfs["strawman"]
+    # the strawman is several times more expensive than code generation
+    assert strawman.mean >= PAPER_FIG4["strawman_vs_codegen_cost_ratio_at_80"] * codegen.mean
+    # code generation stays under the paper's cost bound per query
+    assert codegen.max < PAPER_FIG4["codegen_cost_upper_bound"]
+    # every query costs something, and the CDF reaches 1.0
+    assert all(cost > 0 for cost in codegen.costs)
+    assert codegen.points()[-1][1] == pytest.approx(1.0)

@@ -1,0 +1,52 @@
+"""Paper Figure 4b — cost versus graph size.
+
+The code-generation prompt is independent of the network size, so its cost is
+flat; the strawman prompt embeds the serialized graph, so its cost grows with
+graph size until it no longer fits in the model's context window (the paper
+reports the cliff at roughly 150 nodes+edges).
+"""
+
+import pytest
+
+from helpers import PAPER_FIG4, write_result
+from repro.cost import CostAnalyzer
+from repro.utils.tables import format_table
+
+GRAPH_SIZES = (40, 80, 120, 160, 200, 300, 400)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return CostAnalyzer(model="gpt-4").scalability_sweep(graph_sizes=GRAPH_SIZES)
+
+
+def test_fig4b_cost_scaling(benchmark, sweep):
+    analyzer = CostAnalyzer(model="gpt-4")
+    benchmark.pedantic(lambda: analyzer.scalability_sweep(graph_sizes=(40, 160)),
+                       rounds=1, iterations=1)
+
+    rows = []
+    for point in sweep.points:
+        strawman = ("exceeds window" if point.strawman_cost_usd is None
+                    else f"{point.strawman_cost_usd:.4f}")
+        rows.append([point.graph_size, f"{point.codegen_cost_usd:.4f}", strawman])
+    limit = sweep.strawman_limit_size()
+    output = format_table(
+        ["graph size (nodes+edges)", "code-gen cost ($)", "strawman cost ($)"], rows,
+        title="Figure 4b — cost vs graph size (GPT-4 pricing)")
+    output += f"\n\nstrawman exceeds the context window at size {limit} " \
+              f"(paper: ~{PAPER_FIG4['strawman_token_limit_size']})"
+    write_result("fig4b_cost_scaling", output)
+
+    codegen_costs = [point.codegen_cost_usd for point in sweep.points]
+    strawman_costs = [point.strawman_cost_usd for point in sweep.points
+                      if point.strawman_cost_usd is not None]
+    # code-generation cost is flat in graph size
+    assert max(codegen_costs) - min(codegen_costs) < 0.01
+    # strawman cost grows monotonically while it still fits
+    assert strawman_costs == sorted(strawman_costs)
+    assert len(strawman_costs) >= 2
+    # and eventually exceeds the context window, near the paper's ~150
+    limit = sweep.strawman_limit_size()
+    assert limit is not None
+    assert 120 <= limit <= 240

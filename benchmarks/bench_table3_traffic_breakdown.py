@@ -1,0 +1,49 @@
+"""Paper Table 3 — traffic-analysis accuracy broken down by task complexity."""
+
+import pytest
+
+from helpers import PAPER_TABLE3, write_result
+from repro.benchmark import BenchmarkConfig, BenchmarkRunner
+from repro.utils.tables import format_table
+
+COMPLEXITIES = ("easy", "medium", "hard")
+
+
+@pytest.fixture(scope="module")
+def report():
+    return BenchmarkRunner(BenchmarkConfig()).run_application("traffic_analysis")
+
+
+def test_table3_traffic_breakdown(benchmark, report):
+    runner = BenchmarkRunner(BenchmarkConfig())
+    benchmark.pedantic(
+        lambda: runner.run_application("traffic_analysis", models=["gpt-4"],
+                                       backends=["networkx"]),
+        rounds=1, iterations=1)
+
+    breakdown = report.breakdown()
+    rows = []
+    for model in report.models:
+        for backend in report.backends:
+            measured = breakdown[model][backend]
+            paper = PAPER_TABLE3[model][backend]
+            rows.append([model, backend] + [measured[c] for c in COMPLEXITIES]
+                        + list(paper))
+    output = format_table(
+        ["model", "backend", "E (meas)", "M (meas)", "H (meas)",
+         "E (paper)", "M (paper)", "H (paper)"], rows,
+        title="Table 3 — traffic analysis by complexity")
+    write_result("table3_traffic_breakdown", output)
+
+    # accuracy decreases with task complexity for every model and backend
+    for model in report.models:
+        for backend in report.backends:
+            measured = breakdown[model][backend]
+            assert measured["easy"] >= measured["medium"] >= measured["hard"]
+
+    # the NetworkX column reproduces the paper's cells exactly (to 1/8 rounding)
+    for model in report.models:
+        measured = breakdown[model]["networkx"]
+        paper = PAPER_TABLE3[model]["networkx"]
+        for complexity, paper_value in zip(COMPLEXITIES, paper):
+            assert measured[complexity] == pytest.approx(paper_value, abs=0.07)

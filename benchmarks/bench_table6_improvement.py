@@ -1,0 +1,41 @@
+"""Paper Table 6 — improvement case study: Bard + NetworkX on MALT with
+pass@5 sampling and one self-debug round."""
+
+import pytest
+
+from helpers import PAPER_TABLE6, write_result
+from repro.benchmark import BenchmarkConfig
+from repro.techniques import ImprovementCaseStudy
+from repro.utils.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def study():
+    return ImprovementCaseStudy(BenchmarkConfig(), k=5, self_debug_rounds=1)
+
+
+@pytest.fixture(scope="module")
+def overall(study):
+    return study.overall_accuracy_with_techniques("malt", "bard", "networkx")
+
+
+def test_table6_improvement(benchmark, study, overall):
+    benchmark.pedantic(lambda: study.run("malt", "bard", "networkx"), rounds=1, iterations=1)
+
+    rows = [
+        ["Bard + Pass@1", overall["pass@1"], PAPER_TABLE6["pass@1"]],
+        ["Bard + Pass@5", overall["pass@5"], PAPER_TABLE6["pass@5"]],
+        ["Bard + Self-debug", overall["self-debug"], PAPER_TABLE6["self-debug"]],
+    ]
+    output = format_table(["configuration", "measured", "paper"], rows,
+                          title="Table 6 — improvement with complementary techniques "
+                                "(Bard, NetworkX, MALT)")
+    write_result("table6_improvement", output)
+
+    # reproduces the paper's row: 0.44 -> 1.0 with pass@5, -> 0.67 with self-debug
+    assert overall["pass@1"] == pytest.approx(PAPER_TABLE6["pass@1"], abs=0.02)
+    assert overall["pass@5"] == pytest.approx(PAPER_TABLE6["pass@5"], abs=0.01)
+    assert overall["self-debug"] == pytest.approx(PAPER_TABLE6["self-debug"], abs=0.02)
+    # both techniques strictly improve over the base model
+    assert overall["pass@5"] > overall["pass@1"]
+    assert overall["self-debug"] > overall["pass@1"]

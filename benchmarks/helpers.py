@@ -1,0 +1,79 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and writes the
+result (paper value next to measured value) into ``benchmarks/results/`` so
+the comparison survives pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: paper values used in the side-by-side outputs -----------------------------
+PAPER_TABLE2 = {
+    "traffic_analysis": {
+        "gpt-4": {"strawman": 0.29, "sql": 0.50, "pandas": 0.38, "networkx": 0.88},
+        "gpt-3": {"strawman": 0.17, "sql": 0.13, "pandas": 0.25, "networkx": 0.63},
+        "text-davinci-003": {"strawman": 0.21, "sql": 0.29, "pandas": 0.29, "networkx": 0.63},
+        "bard": {"strawman": 0.25, "sql": 0.21, "pandas": 0.25, "networkx": 0.59},
+    },
+    "malt": {
+        "gpt-4": {"sql": 0.11, "pandas": 0.56, "networkx": 0.78},
+        "gpt-3": {"sql": 0.11, "pandas": 0.44, "networkx": 0.44},
+        "text-davinci-003": {"sql": 0.11, "pandas": 0.22, "networkx": 0.56},
+        "bard": {"sql": 0.11, "pandas": 0.33, "networkx": 0.44},
+    },
+}
+
+PAPER_TABLE3 = {
+    "gpt-4": {"strawman": (0.50, 0.38, 0.0), "sql": (0.75, 0.50, 0.25),
+              "pandas": (0.50, 0.50, 0.13), "networkx": (1.0, 1.0, 0.63)},
+    "gpt-3": {"strawman": (0.38, 0.13, 0.0), "sql": (0.25, 0.13, 0.0),
+              "pandas": (0.50, 0.25, 0.0), "networkx": (1.0, 0.63, 0.25)},
+    "text-davinci-003": {"strawman": (0.38, 0.25, 0.0), "sql": (0.63, 0.25, 0.0),
+                         "pandas": (0.63, 0.25, 0.0), "networkx": (1.0, 0.75, 0.13)},
+    "bard": {"strawman": (0.50, 0.25, 0.0), "sql": (0.38, 0.25, 0.0),
+             "pandas": (0.50, 0.13, 0.13), "networkx": (0.88, 0.50, 0.38)},
+}
+
+PAPER_TABLE4 = {
+    "gpt-4": {"sql": (0.33, 0.0, 0.0), "pandas": (0.67, 0.67, 0.33),
+              "networkx": (1.0, 1.0, 0.33)},
+    "gpt-3": {"sql": (0.33, 0.0, 0.0), "pandas": (0.67, 0.67, 0.0),
+              "networkx": (0.67, 0.67, 0.0)},
+    "text-davinci-003": {"sql": (0.33, 0.0, 0.0), "pandas": (0.33, 0.33, 0.0),
+                         "networkx": (0.67, 0.67, 0.33)},
+    "bard": {"sql": (0.33, 0.0, 0.0), "pandas": (0.67, 0.33, 0.0),
+             "networkx": (0.67, 0.33, 0.33)},
+}
+
+PAPER_TABLE5 = {
+    "traffic_analysis": {
+        "syntax_error": 9, "imaginary_graph_attribute": 9,
+        "imaginary_function_argument": 3, "argument_error": 7,
+        "operation_error": 4, "wrong_calculation_logic": 2, "graphs_not_identical": 1,
+    },
+    "malt": {
+        "syntax_error": 0, "imaginary_graph_attribute": 1,
+        "imaginary_function_argument": 2, "argument_error": 8,
+        "operation_error": 2, "wrong_calculation_logic": 3, "graphs_not_identical": 1,
+    },
+}
+
+PAPER_TABLE6 = {"pass@1": 0.44, "pass@5": 1.0, "self-debug": 0.67}
+
+PAPER_FIG4 = {
+    "strawman_vs_codegen_cost_ratio_at_80": 3.0,
+    "strawman_token_limit_size": 150,
+    "codegen_cost_upper_bound": 0.2,
+}
+
+
+def write_result(name: str, content: str) -> Path:
+    """Persist a regenerated table next to the benchmark code."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n", encoding="utf-8")
+    return path

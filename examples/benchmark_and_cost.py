@@ -1,0 +1,76 @@
+"""Reproduce the paper's evaluation in one script.
+
+Runs the NeMoEval accuracy benchmark (Tables 2-5), the improvement case study
+(Table 6), and the cost/scalability analysis (Figure 4), printing each result
+next to the value reported in the paper.  This is the script-level equivalent
+of `pytest benchmarks/ --benchmark-only`.
+
+Run with:  python examples/benchmark_and_cost.py [--small]
+           (--small uses a reduced MALT topology to finish in a few seconds)
+"""
+
+import sys
+
+from repro.benchmark import BenchmarkConfig, BenchmarkRunner
+from repro.benchmark.errors import ERROR_TYPE_LABELS
+from repro.cost import CostAnalyzer
+from repro.malt import MaltTopologyConfig
+from repro.techniques import ImprovementCaseStudy
+from repro.utils.tables import format_table
+
+
+def build_config(small: bool) -> BenchmarkConfig:
+    if not small:
+        return BenchmarkConfig()
+    return BenchmarkConfig(malt_config=MaltTopologyConfig(
+        datacenters=1, pods_per_datacenter=2, racks_per_pod=2, chassis_per_rack=2,
+        switches_per_chassis=4, ports_per_switch=3, control_points=4, port_links=6))
+
+
+def main() -> None:
+    small = "--small" in sys.argv
+    config = build_config(small)
+    runner = BenchmarkRunner(config)
+
+    print("Running NeMoEval: 24 traffic queries + 9 MALT queries, 4 models ...")
+    for application in ("traffic_analysis", "malt"):
+        report = runner.run_application(application)
+        print()
+        print(report.render_summary())
+        print()
+        print(report.render_breakdown())
+        errors = report.error_type_counts(backend="networkx")
+        rows = [[ERROR_TYPE_LABELS.get(key, key), count] for key, count in sorted(errors.items())]
+        print()
+        print(format_table(["error type (NetworkX failures)", "count"], rows,
+                           title=f"Table 5 — {application}"))
+
+    print()
+    print("Improvement case study (paper Table 6: Bard, NetworkX, MALT) ...")
+    study = ImprovementCaseStudy(config, k=5)
+    overall = study.overall_accuracy_with_techniques("malt", "bard", "networkx")
+    rows = [["Bard + Pass@1", overall["pass@1"], 0.44],
+            ["Bard + Pass@5", overall["pass@5"], 1.0],
+            ["Bard + Self-debug", overall["self-debug"], 0.67]]
+    print(format_table(["configuration", "measured", "paper"], rows))
+
+    print()
+    print("Cost and scalability (paper Figure 4, GPT-4 pricing) ...")
+    analyzer = CostAnalyzer(model="gpt-4")
+    cdfs = analyzer.cost_cdf()
+    rows = [[backend, cdf.mean, cdf.max] for backend, cdf in cdfs.items()]
+    print(format_table(["approach", "mean cost ($)", "max cost ($)"], rows,
+                       float_format="{:.4f}"))
+    sweep = analyzer.scalability_sweep()
+    rows = [[point.graph_size, point.codegen_cost_usd,
+             point.strawman_cost_usd if point.strawman_cost_usd is not None
+             else "exceeds window"]
+            for point in sweep.points]
+    print(format_table(["graph size", "code-gen ($)", "strawman ($)"], rows,
+                       float_format="{:.4f}"))
+    print(f"Strawman exceeds the context window at graph size "
+          f"{sweep.strawman_limit_size()} (paper: ~150).")
+
+
+if __name__ == "__main__":
+    main()

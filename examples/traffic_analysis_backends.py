@@ -1,0 +1,43 @@
+"""Compare the three code-generation backends (and the strawman) on the same
+traffic-analysis query, the way Section 4.3 of the paper does.
+
+Run with:  python examples/traffic_analysis_backends.py
+"""
+
+from repro.core import NetworkManagementPipeline
+from repro.llm import create_provider
+from repro.traffic import TrafficAnalysisApplication
+
+QUERY = "Find the top 3 nodes by total outgoing bytes and return their addresses."
+
+
+def main() -> None:
+    application = TrafficAnalysisApplication.with_size(node_count=40, edge_count=40)
+    provider = create_provider("gpt-4")
+
+    for backend in ("networkx", "pandas", "sql", "strawman"):
+        pipeline = NetworkManagementPipeline(application, provider, backend)
+        result = pipeline.run_query(QUERY)
+        print("=" * 72)
+        print(f"Backend: {backend}")
+        if result.code:
+            print("Generated code:")
+            print(result.code.strip())
+        if result.succeeded:
+            value = result.result_value
+            if hasattr(value, "to_records"):
+                value = value.to_records()
+            print(f"Result: {value}")
+        else:
+            print(f"Failed at {result.error_stage}: {result.error_message}")
+        print(f"Prompt tokens: {result.response.prompt_tokens if result.response else 0}"
+              f"   cost: ${result.cost_usd:.4f}")
+
+    print("=" * 72)
+    print("Note how the strawman prompt is an order of magnitude larger because it "
+          "embeds the whole network, while the code-generation prompts only describe "
+          "the schema — that is the paper's scalability and privacy argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — reproduction of "Enhancing Network Management Using Code Generated
+by Large Language Models" (HotNets 2023).
+
+The package layers, bottom-up:
+
+* substrates: :mod:`repro.graph` (property graphs), :mod:`repro.frames`
+  (mini dataframes), :mod:`repro.sqlengine` (in-memory SQL), and the two
+  applications :mod:`repro.traffic` and :mod:`repro.malt`;
+* the code-generation pipeline: :mod:`repro.synthesis` (NL -> code),
+  :mod:`repro.llm` (simulated LLM providers), :mod:`repro.sandbox`
+  (safe execution), :mod:`repro.core` (the Figure-2 framework);
+* evaluation: :mod:`repro.benchmark` (the NeMoEval benchmark),
+  :mod:`repro.techniques` (pass@k, self-debug, selection), and
+  :mod:`repro.cost` (cost/scalability analysis).
+
+See ``DESIGN.md`` for the full system inventory and the experiment index.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,52 @@
+"""NeMoEval — the benchmark of the paper (Figure 3).
+
+Components:
+
+* :mod:`repro.benchmark.queries` — the query corpus: 24 network-traffic-
+  analysis queries and 9 MALT lifecycle-management queries, each with a
+  complexity level ("easy"/"medium"/"hard"), a difficulty rank inside its
+  complexity bucket, and a structured intent;
+* :mod:`repro.benchmark.goldens` — the golden-answer selector, backed by the
+  reference semantics in :mod:`repro.synthesis.reference`;
+* :mod:`repro.benchmark.evaluator` — the results evaluator, comparing the
+  outcome of executing LLM-generated code against the golden outcome;
+* :mod:`repro.benchmark.errors` — the error classifier reproducing the
+  taxonomy of paper Table 5 from observed execution behaviour;
+* :mod:`repro.benchmark.logger` — the results logger;
+* :mod:`repro.benchmark.runner` — the benchmark runner that regenerates the
+  accuracy tables (paper Tables 2-4) and the error summary (Table 5).
+"""
+
+from repro.benchmark.queries import (
+    BenchmarkQuery,
+    traffic_queries,
+    malt_queries,
+    queries_for,
+    query_by_id,
+    COMPLEXITY_LEVELS,
+)
+from repro.benchmark.goldens import GoldenAnswerSelector, GoldenAnswer
+from repro.benchmark.evaluator import ResultsEvaluator, EvaluationRecord, compare_values
+from repro.benchmark.errors import classify_error, ERROR_TYPE_LABELS
+from repro.benchmark.logger import ResultsLogger
+from repro.benchmark.runner import BenchmarkRunner, BenchmarkConfig, AccuracyReport
+
+__all__ = [
+    "BenchmarkQuery",
+    "traffic_queries",
+    "malt_queries",
+    "queries_for",
+    "query_by_id",
+    "COMPLEXITY_LEVELS",
+    "GoldenAnswerSelector",
+    "GoldenAnswer",
+    "ResultsEvaluator",
+    "EvaluationRecord",
+    "compare_values",
+    "classify_error",
+    "ERROR_TYPE_LABELS",
+    "ResultsLogger",
+    "BenchmarkRunner",
+    "BenchmarkConfig",
+    "AccuracyReport",
+]

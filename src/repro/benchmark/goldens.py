@@ -1,0 +1,68 @@
+"""The golden-answer selector (paper Figure 3, left box).
+
+For each benchmark query the selector produces the verified golden outcome on
+the evaluation graph: a value, an updated graph, or both.  Golden outcomes
+are computed once per (query, graph) pair and cached, because the benchmark
+runner evaluates the same query against four models and four backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.benchmark.queries import BenchmarkQuery
+from repro.graph import PropertyGraph
+from repro.synthesis.reference import ReferenceOutcome, evaluate_reference
+
+
+@dataclass
+class GoldenAnswer:
+    """The verified outcome of one query on one evaluation graph."""
+
+    query_id: str
+    kind: str                                  # "value", "graph", or "both"
+    value: Any = None
+    graph: Optional[PropertyGraph] = None
+
+    @property
+    def expects_value(self) -> bool:
+        return self.kind in ("value", "both")
+
+    @property
+    def expects_graph(self) -> bool:
+        return self.kind in ("graph", "both")
+
+
+class GoldenAnswerSelector:
+    """Compute (and cache) golden answers for benchmark queries."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[str, int], GoldenAnswer] = {}
+
+    def golden_for(self, query: BenchmarkQuery, graph: PropertyGraph) -> GoldenAnswer:
+        """The golden outcome of *query* evaluated on *graph*."""
+        cache_key = (query.query_id, id(graph))
+        if cache_key in self._cache:
+            return self._cache[cache_key]
+        outcome: ReferenceOutcome = evaluate_reference(graph, query.intent)
+        golden = GoldenAnswer(
+            query_id=query.query_id,
+            kind=outcome.kind,
+            value=outcome.value,
+            graph=outcome.graph,
+        )
+        self._cache[cache_key] = golden
+        return golden
+
+    def expected_graph(self, golden: GoldenAnswer,
+                       original: PropertyGraph) -> PropertyGraph:
+        """The graph state the generated code should leave behind.
+
+        For pure analysis queries the network state must be untouched, so the
+        expected graph is the original; for manipulation queries it is the
+        golden's updated graph.
+        """
+        if golden.expects_graph and golden.graph is not None:
+            return golden.graph
+        return original

@@ -1,0 +1,228 @@
+"""The NeMoEval query corpus.
+
+24 traffic-analysis queries (8 easy / 8 medium / 8 hard) and 9 MALT queries
+(3 / 3 / 3), mirroring the paper's benchmark composition (Table 1 shows one
+example per cell; the released benchmark contains the full lists).  Every
+query carries:
+
+* ``complexity`` — the paper's three levels;
+* ``difficulty_rank`` — the query's rank *within* its complexity bucket
+  (0 = easiest), which the calibrated reliability model uses to decide which
+  queries a given model answers correctly;
+* ``intent`` — the structured meaning used by the golden-answer selector and
+  by the simulated LLMs' synthesizer.  The natural-language text and the
+  intent are kept consistent (a test asserts that the intent parser recovers
+  the intent from the text).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.synthesis.intents import Intent
+
+COMPLEXITY_LEVELS = ("easy", "medium", "hard")
+
+
+@dataclass(frozen=True)
+class BenchmarkQuery:
+    """One benchmark query."""
+
+    query_id: str
+    application: str          # "traffic_analysis" or "malt"
+    text: str
+    complexity: str           # "easy", "medium", "hard"
+    difficulty_rank: int      # 0-based rank inside the complexity bucket
+    intent: Intent
+
+    def metadata(self, bucket_size: int) -> Dict[str, object]:
+        """The structured metadata handed to the pipeline/LLM for this query."""
+        return {
+            "query_id": self.query_id,
+            "query": self.text,
+            "application": self.application,
+            "complexity": self.complexity,
+            "difficulty_rank": self.difficulty_rank,
+            "bucket_size": bucket_size,
+            "intent": self.intent.as_dict(),
+        }
+
+
+def _q(query_id: str, application: str, text: str, complexity: str, rank: int,
+       intent_name: str, **params) -> BenchmarkQuery:
+    return BenchmarkQuery(
+        query_id=query_id,
+        application=application,
+        text=text,
+        complexity=complexity,
+        difficulty_rank=rank,
+        intent=Intent.create(intent_name, **params),
+    )
+
+
+# ---------------------------------------------------------------------------
+# traffic analysis (24 queries)
+# ---------------------------------------------------------------------------
+_TRAFFIC: List[BenchmarkQuery] = [
+    # -- easy ------------------------------------------------------------
+    _q("ta-e1", "traffic_analysis",
+       "How many nodes are in the communication graph?",
+       "easy", 0, "count_nodes"),
+    _q("ta-e2", "traffic_analysis",
+       "How many edges are in the communication graph?",
+       "easy", 1, "count_edges"),
+    _q("ta-e3", "traffic_analysis",
+       "What is the total number of bytes transferred across all edges?",
+       "easy", 2, "total_bytes"),
+    _q("ta-e4", "traffic_analysis",
+       "List the addresses of all nodes with address prefix 15.76.",
+       "easy", 3, "list_nodes_by_prefix", prefix="15.76"),
+    _q("ta-e5", "traffic_analysis",
+       "Which edge carries the most bytes? Return the source and target addresses.",
+       "easy", 4, "max_bytes_edge"),
+    _q("ta-e6", "traffic_analysis",
+       "How many router nodes are in the graph?",
+       "easy", 5, "count_nodes_of_type", type_name="router"),
+    _q("ta-e7", "traffic_analysis",
+       "Add a label app:production to nodes with address prefix 15.76",
+       "easy", 6, "label_nodes_by_prefix", key="app", value="production", prefix="15.76"),
+    _q("ta-e8", "traffic_analysis",
+       "List nodes that are isolated, with no incoming or outgoing communication.",
+       "easy", 7, "list_isolated_nodes"),
+    # -- medium ----------------------------------------------------------
+    _q("ta-m1", "traffic_analysis",
+       "Find the top 3 nodes by total outgoing bytes and return their addresses.",
+       "medium", 0, "top_k_talkers", k=3),
+    _q("ta-m2", "traffic_analysis",
+       "List edges carrying more than 500000 bytes as source and destination address pairs.",
+       "medium", 1, "heavy_edges_above", threshold=500000),
+    _q("ta-m3", "traffic_analysis",
+       "Compute the average bytes per edge grouped by the source node's device type.",
+       "medium", 2, "avg_bytes_by_source_type"),
+    _q("ta-m4", "traffic_analysis",
+       "Remove all edges with fewer than 1000 bytes from the graph.",
+       "medium", 3, "remove_light_edges", threshold=1000),
+    _q("ta-m5", "traffic_analysis",
+       "Assign a unique color for each /16 IP address prefix. Use color values "
+       "'color-0', 'color-1', ... assigned in sorted order of the prefixes.",
+       "medium", 4, "color_by_prefix16"),
+    _q("ta-m6", "traffic_analysis",
+       "Compute the total bytes sent by nodes in each /16 prefix.",
+       "medium", 5, "bytes_per_prefix16"),
+    _q("ta-m7", "traffic_analysis",
+       "For each node, compute the number of distinct peers it communicates with.",
+       "medium", 6, "peer_count_per_node"),
+    _q("ta-m8", "traffic_analysis",
+       "Count how many node pairs communicate in both directions.",
+       "medium", 7, "reciprocal_pair_count"),
+    # -- hard ------------------------------------------------------------
+    _q("ta-h1", "traffic_analysis",
+       "Calculate the total byte weight on each node and cluster them into 5 groups "
+       "using equal-width bins; return the group index per node address.",
+       "hard", 0, "cluster_nodes_by_total_bytes", clusters=5),
+    _q("ta-h2", "traffic_analysis",
+       "What is the required number of hops for data transmission between node n0 and node n5?",
+       "hard", 1, "shortest_path_hops", source="n0", target="n5"),
+    _q("ta-h3", "traffic_analysis",
+       "Find the size of the largest weakly connected component of the communication graph.",
+       "hard", 2, "largest_weakly_connected_component"),
+    _q("ta-h4", "traffic_analysis",
+       "Identify nodes whose total outgoing bytes exceed the mean by more than two "
+       "standard deviations; return their addresses.",
+       "hard", 3, "heavy_hitter_outliers"),
+    _q("ta-h5", "traffic_analysis",
+       "Remove the node with the highest total degree from the graph and return the "
+       "number of remaining edges.",
+       "hard", 4, "remove_highest_degree_node"),
+    _q("ta-h6", "traffic_analysis",
+       "Which node has the highest betweenness centrality? Return its address.",
+       "hard", 5, "top_betweenness_node"),
+    _q("ta-h7", "traffic_analysis",
+       "Merge all nodes sharing the same /24 prefix into aggregate nodes, summing edge weights.",
+       "hard", 6, "merge_nodes_by_prefix24"),
+    _q("ta-h8", "traffic_analysis",
+       "Evenly redistribute the total outgoing bytes of the busiest node across its outgoing edges.",
+       "hard", 7, "redistribute_busiest_node_bytes"),
+]
+
+
+# ---------------------------------------------------------------------------
+# MALT network lifecycle management (9 queries)
+# ---------------------------------------------------------------------------
+_MALT: List[BenchmarkQuery] = [
+    # -- easy ------------------------------------------------------------
+    _q("malt-e1", "malt",
+       "List all ports that are contained by packet switch ju1.a1.m1.s2c1.",
+       "easy", 0, "list_ports_of_switch", switch="ju1.a1.m1.s2c1"),
+    _q("malt-e2", "malt",
+       "How many packet switches are in the topology?",
+       "easy", 1, "count_entities_of_type", entity_type="EK_PACKET_SWITCH"),
+    _q("malt-e3", "malt",
+       "List all packet switches controlled by control point cp1.",
+       "easy", 2, "switches_controlled_by", control_point="cp1"),
+    # -- medium ----------------------------------------------------------
+    _q("malt-m1", "malt",
+       "Find the first and the second largest chassis by capacity.",
+       "medium", 0, "top2_chassis_by_capacity"),
+    _q("malt-m2", "malt",
+       "Compute the number of ports contained in each chassis of rack ju1.a1.m1.",
+       "medium", 1, "port_count_per_chassis_in_rack", rack="ju1.a1.m1"),
+    _q("malt-m3", "malt",
+       "Compute the total packet switch capacity in each datacenter.",
+       "medium", 2, "capacity_per_datacenter"),
+    # -- hard ------------------------------------------------------------
+    _q("malt-h1", "malt",
+       "Remove packet switch ju1.a1.m1.s1c1 from its chassis and redistribute its "
+       "capacity equally across the remaining switches in that chassis.",
+       "hard", 0, "remove_switch_and_rebalance", switch="ju1.a1.m1.s1c1"),
+    _q("malt-h2", "malt",
+       "For each datacenter, compute the fraction of ports that are down.",
+       "hard", 1, "down_port_fraction_per_datacenter"),
+    _q("malt-h3", "malt",
+       "Add a new packet switch named 'new-switch-1' with capacity 100 to the chassis "
+       "with the lowest total capacity and update that chassis capacity.",
+       "hard", 2, "add_switch_to_least_loaded_chassis", name="new-switch-1", capacity=100),
+]
+
+
+def traffic_queries() -> List[BenchmarkQuery]:
+    """The 24 traffic-analysis queries."""
+    return list(_TRAFFIC)
+
+
+def malt_queries() -> List[BenchmarkQuery]:
+    """The 9 MALT lifecycle-management queries."""
+    return list(_MALT)
+
+
+def queries_for(application: str) -> List[BenchmarkQuery]:
+    """All queries of one application."""
+    if application == "traffic_analysis":
+        return traffic_queries()
+    if application == "malt":
+        return malt_queries()
+    raise KeyError(f"unknown application {application!r}")
+
+
+def query_by_id(query_id: str) -> BenchmarkQuery:
+    """Look up one query by its id (e.g. ``"ta-m5"``)."""
+    for query in _TRAFFIC + _MALT:
+        if query.query_id == query_id:
+            return query
+    raise KeyError(f"unknown query id {query_id!r}")
+
+
+def bucket_size(application: str, complexity: str) -> int:
+    """Number of queries in one complexity bucket of one application."""
+    return sum(1 for query in queries_for(application) if query.complexity == complexity)
+
+
+def queries_by_complexity(application: str) -> Dict[str, List[BenchmarkQuery]]:
+    """Queries grouped by complexity, preserving difficulty-rank order."""
+    grouped: Dict[str, List[BenchmarkQuery]] = {level: [] for level in COMPLEXITY_LEVELS}
+    for query in queries_for(application):
+        grouped[query.complexity].append(query)
+    for level in grouped:
+        grouped[level].sort(key=lambda q: q.difficulty_rank)
+    return grouped

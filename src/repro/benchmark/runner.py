@@ -1,0 +1,177 @@
+"""The benchmark runner: regenerate the paper's accuracy tables.
+
+The runner wires every piece together: for each (model, backend, query) it
+builds the application, runs the pipeline, evaluates against the golden
+answer, classifies failures, and aggregates accuracy per complexity level —
+which is exactly the content of the paper's Tables 2, 3, 4 and 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.benchmark.evaluator import EvaluationRecord, ResultsEvaluator
+from repro.benchmark.goldens import GoldenAnswerSelector
+from repro.benchmark.logger import ResultsLogger
+from repro.benchmark.queries import (
+    BenchmarkQuery,
+    COMPLEXITY_LEVELS,
+    bucket_size,
+    queries_for,
+)
+from repro.core.application import NetworkApplication
+from repro.core.pipeline import NetworkManagementPipeline, QueryRequest
+from repro.llm.calibration import CalibrationTable
+from repro.llm.catalog import DEFAULT_MODELS, create_provider
+from repro.malt import MaltApplication, MaltTopologyConfig
+from repro.traffic import CommunicationGraphConfig, TrafficAnalysisApplication
+from repro.utils.tables import format_table
+
+
+#: backends compared for each application (the paper only runs the strawman
+#: on traffic analysis, where the graph size can be kept inside the window)
+TRAFFIC_BACKENDS = ("strawman", "sql", "pandas", "networkx")
+MALT_BACKENDS = ("sql", "pandas", "networkx")
+
+
+@dataclass
+class BenchmarkConfig:
+    """Knobs of one benchmark run."""
+
+    models: Sequence[str] = tuple(DEFAULT_MODELS)
+    traffic_node_count: int = 40
+    traffic_edge_count: int = 40
+    strawman_node_count: int = 10
+    strawman_edge_count: int = 10
+    malt_config: Optional[MaltTopologyConfig] = None
+    seed: int = 7
+    calibration: Optional[CalibrationTable] = None
+
+    def traffic_application(self) -> TrafficAnalysisApplication:
+        return TrafficAnalysisApplication(config=CommunicationGraphConfig(
+            node_count=self.traffic_node_count, edge_count=self.traffic_edge_count,
+            seed=self.seed))
+
+    def strawman_application(self) -> TrafficAnalysisApplication:
+        return TrafficAnalysisApplication(config=CommunicationGraphConfig(
+            node_count=self.strawman_node_count, edge_count=self.strawman_edge_count,
+            seed=self.seed))
+
+    def malt_application(self) -> MaltApplication:
+        return MaltApplication(config=self.malt_config)
+
+
+@dataclass
+class AccuracyReport:
+    """Aggregated accuracy for one application."""
+
+    application: str
+    backends: Sequence[str]
+    models: Sequence[str]
+    logger: ResultsLogger = field(default_factory=ResultsLogger)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Paper Table 2 content: model -> backend -> overall accuracy."""
+        table: Dict[str, Dict[str, float]] = {}
+        for model in self.models:
+            table[model] = {}
+            for backend in self.backends:
+                table[model][backend] = self.logger.accuracy(model=model, backend=backend)
+        return table
+
+    def breakdown(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Paper Tables 3/4 content: model -> backend -> complexity -> accuracy."""
+        table: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for model in self.models:
+            table[model] = {}
+            for backend in self.backends:
+                per_complexity = {}
+                for complexity in COMPLEXITY_LEVELS:
+                    records = [r for r in self.logger.filtered(model=model, backend=backend)
+                               if r.complexity == complexity]
+                    per_complexity[complexity] = (
+                        sum(1 for r in records if r.passed) / len(records) if records else 0.0)
+                table[model][backend] = per_complexity
+        return table
+
+    def error_type_counts(self, backend: str = "networkx") -> Dict[str, int]:
+        """Paper Table 5 content for one backend."""
+        return self.logger.error_type_counts(backend=backend)
+
+    # ------------------------------------------------------------------
+    def render_summary(self) -> str:
+        rows = []
+        summary = self.summary()
+        for model in self.models:
+            rows.append([model] + [summary[model][backend] for backend in self.backends])
+        return format_table(["model"] + list(self.backends), rows,
+                            title=f"Accuracy summary — {self.application}")
+
+    def render_breakdown(self) -> str:
+        rows = []
+        breakdown = self.breakdown()
+        for model in self.models:
+            for backend in self.backends:
+                cell = breakdown[model][backend]
+                rows.append([model, backend] + [cell[c] for c in COMPLEXITY_LEVELS])
+        return format_table(["model", "backend"] + list(COMPLEXITY_LEVELS), rows,
+                            title=f"Accuracy by complexity — {self.application}")
+
+
+class BenchmarkRunner:
+    """Run NeMoEval end to end for one or both applications."""
+
+    def __init__(self, config: Optional[BenchmarkConfig] = None) -> None:
+        self.config = config or BenchmarkConfig()
+        self.evaluator = ResultsEvaluator()
+        self.goldens = GoldenAnswerSelector()
+
+    # ------------------------------------------------------------------
+    def run_query(self, application: NetworkApplication, query: BenchmarkQuery,
+                  model: str, backend: str, attempt: int = 0,
+                  feedback: Optional[str] = None) -> EvaluationRecord:
+        """Run one (query, model, backend) cell and evaluate it."""
+        provider = create_provider(model, calibration=self.config.calibration)
+        pipeline = NetworkManagementPipeline(application, provider, backend)
+        metadata = query.metadata(bucket_size(query.application, query.complexity))
+        request = QueryRequest(query=query.text, backend=backend, metadata=metadata,
+                               attempt=attempt, feedback=feedback)
+        pipeline_result = pipeline.run(request)
+        golden = self.goldens.golden_for(query, application.graph)
+        return self.evaluator.evaluate(query, model, pipeline_result, golden,
+                                       application.graph)
+
+    # ------------------------------------------------------------------
+    def run_application(self, application_name: str,
+                        backends: Optional[Sequence[str]] = None,
+                        models: Optional[Sequence[str]] = None) -> AccuracyReport:
+        """Run every query of one application for all models and backends."""
+        models = list(models or self.config.models)
+        if backends is None:
+            backends = TRAFFIC_BACKENDS if application_name == "traffic_analysis" else MALT_BACKENDS
+        report = AccuracyReport(application=application_name, backends=list(backends),
+                                models=models)
+
+        if application_name == "traffic_analysis":
+            main_application = self.config.traffic_application()
+            strawman_application = self.config.strawman_application()
+        else:
+            main_application = self.config.malt_application()
+            strawman_application = main_application
+
+        for backend in backends:
+            application = strawman_application if backend == "strawman" else main_application
+            for query in queries_for(application_name):
+                for model in models:
+                    record = self.run_query(application, query, model, backend)
+                    report.logger.log(record)
+        return report
+
+    def run_all(self) -> Dict[str, AccuracyReport]:
+        """Run both applications (the full paper evaluation)."""
+        return {
+            "traffic_analysis": self.run_application("traffic_analysis"),
+            "malt": self.run_application("malt"),
+        }

@@ -1,0 +1,5 @@
+"""Command-line interface for the reproduction (``repro-nemo``)."""
+
+from repro.cli.main import main, build_parser
+
+__all__ = ["main", "build_parser"]

@@ -1,0 +1,189 @@
+"""``repro-nemo`` — run queries, the benchmark, and the cost analysis.
+
+Sub-commands:
+
+* ``ask``       — answer one natural-language query against a synthetic
+                  network and show the generated code and the result;
+* ``benchmark`` — run the NeMoEval accuracy benchmark (Tables 2-5);
+* ``cost``      — run the cost/scalability analysis (Figure 4);
+* ``improve``   — run the pass@k / self-debug case study (Table 6);
+* ``queries``   — list the benchmark query corpus (Table 1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.benchmark import BenchmarkConfig, BenchmarkRunner
+from repro.benchmark.errors import ERROR_TYPE_LABELS
+from repro.benchmark.queries import malt_queries, traffic_queries
+from repro.core import NetworkManagementPipeline
+from repro.cost import CostAnalyzer
+from repro.llm import available_models, create_provider
+from repro.malt import MaltApplication
+from repro.techniques import ImprovementCaseStudy
+from repro.traffic import TrafficAnalysisApplication
+from repro.utils.tables import format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-nemo",
+        description="Natural-language network management via LLM-generated code "
+                    "(HotNets 2023 reproduction).")
+    subparsers = parser.add_subparsers(dest="command")
+
+    ask = subparsers.add_parser("ask", help="answer one natural-language query")
+    ask.add_argument("query", help="the natural-language request")
+    ask.add_argument("--application", choices=["traffic", "malt"], default="traffic")
+    ask.add_argument("--backend", choices=["networkx", "pandas", "sql", "strawman"],
+                     default="networkx")
+    ask.add_argument("--model", choices=available_models(), default="gpt-4")
+    ask.add_argument("--nodes", type=int, default=40)
+    ask.add_argument("--edges", type=int, default=40)
+
+    bench = subparsers.add_parser("benchmark", help="run the NeMoEval benchmark")
+    bench.add_argument("--application", choices=["traffic", "malt", "all"], default="all")
+    bench.add_argument("--models", nargs="*", default=None)
+    bench.add_argument("--small-malt", action="store_true",
+                       help="use a small MALT topology instead of the paper-scale one")
+    bench.add_argument("--json", dest="json_path", default=None,
+                       help="write the full result log to this JSON file")
+
+    cost = subparsers.add_parser("cost", help="run the cost/scalability analysis")
+    cost.add_argument("--model", choices=available_models(), default="gpt-4")
+    cost.add_argument("--sizes", nargs="*", type=int,
+                      default=[40, 80, 120, 160, 200, 300, 400])
+
+    improve = subparsers.add_parser("improve", help="run the pass@k / self-debug case study")
+    improve.add_argument("--model", choices=available_models(), default="bard")
+    improve.add_argument("--backend", default="networkx")
+    improve.add_argument("--application", choices=["traffic", "malt"], default="malt")
+    improve.add_argument("--k", type=int, default=5)
+
+    subparsers.add_parser("queries", help="list the benchmark query corpus")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# sub-command handlers
+# ---------------------------------------------------------------------------
+def _cmd_ask(args: argparse.Namespace) -> int:
+    if args.application == "traffic":
+        application = TrafficAnalysisApplication.with_size(args.nodes, args.edges)
+    else:
+        application = MaltApplication.small()
+    provider = create_provider(args.model)
+    pipeline = NetworkManagementPipeline(application, provider, args.backend)
+    result = pipeline.run_query(args.query)
+    print(f"# model: {args.model}   backend: {args.backend}")
+    if result.code:
+        print("# generated code:")
+        print(result.code)
+    if result.succeeded:
+        print("# result:")
+        print(result.result_value)
+    else:
+        print(f"# failed at stage {result.error_stage}: {result.error_message}")
+    print(f"# cost: ${result.cost_usd:.4f}")
+    return 0 if result.succeeded else 1
+
+
+def _cmd_benchmark(args: argparse.Namespace) -> int:
+    config = BenchmarkConfig()
+    if args.small_malt:
+        from repro.malt import MaltTopologyConfig
+
+        config.malt_config = MaltTopologyConfig(
+            datacenters=1, pods_per_datacenter=2, racks_per_pod=2, chassis_per_rack=2,
+            switches_per_chassis=4, ports_per_switch=3, control_points=4, port_links=6)
+    runner = BenchmarkRunner(config)
+    applications = {"traffic": ["traffic_analysis"], "malt": ["malt"],
+                    "all": ["traffic_analysis", "malt"]}[args.application]
+    for application in applications:
+        report = runner.run_application(application, models=args.models)
+        print(report.render_summary())
+        print()
+        print(report.render_breakdown())
+        print()
+        error_counts = report.error_type_counts(backend="networkx")
+        rows = [[ERROR_TYPE_LABELS.get(key, key), count]
+                for key, count in sorted(error_counts.items())]
+        print(format_table(["error type (NetworkX failures)", "count"], rows))
+        print()
+        if args.json_path:
+            report.logger.save(args.json_path)
+            print(f"wrote result log to {args.json_path}")
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    analyzer = CostAnalyzer(model=args.model)
+    cdfs = analyzer.cost_cdf()
+    rows = []
+    for backend, cdf in cdfs.items():
+        rows.append([backend, cdf.mean, cdf.max])
+    print(format_table(["approach", "mean cost ($)", "max cost ($)"], rows,
+                       title="Per-query cost at 80 nodes+edges", float_format="{:.4f}"))
+    print()
+    sweep = analyzer.scalability_sweep(graph_sizes=args.sizes)
+    rows = []
+    for point in sweep.points:
+        strawman = ("exceeds token limit" if point.strawman_cost_usd is None
+                    else f"{point.strawman_cost_usd:.4f}")
+        rows.append([point.graph_size, f"{point.codegen_cost_usd:.4f}", strawman])
+    print(format_table(["graph size (nodes+edges)", "code-gen cost ($)", "strawman cost ($)"],
+                       rows, title="Cost vs graph size"))
+    limit = sweep.strawman_limit_size()
+    if limit is not None:
+        print(f"\nThe strawman exceeds the {args.model} token window at size {limit}.")
+    return 0
+
+
+def _cmd_improve(args: argparse.Namespace) -> int:
+    from repro.malt import MaltTopologyConfig
+
+    config = BenchmarkConfig(malt_config=MaltTopologyConfig(
+        datacenters=1, pods_per_datacenter=2, racks_per_pod=2, chassis_per_rack=2,
+        switches_per_chassis=4, ports_per_switch=3, control_points=4, port_links=6))
+    study = ImprovementCaseStudy(config, k=args.k)
+    application = "malt" if args.application == "malt" else "traffic_analysis"
+    overall = study.overall_accuracy_with_techniques(application, args.model, args.backend)
+    rows = [[key, value] for key, value in overall.items()]
+    print(format_table(["technique", "accuracy"], rows,
+                       title=f"{args.model} + {args.backend} on {application}"))
+    return 0
+
+
+def _cmd_queries(_: argparse.Namespace) -> int:
+    rows = []
+    for query in traffic_queries() + malt_queries():
+        rows.append([query.query_id, query.application, query.complexity, query.text])
+    print(format_table(["id", "application", "complexity", "query"], rows,
+                       title="NeMoEval query corpus"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "ask": _cmd_ask,
+        "benchmark": _cmd_benchmark,
+        "cost": _cmd_cost,
+        "improve": _cmd_improve,
+        "queries": _cmd_queries,
+    }
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""The Figure-2 system framework.
+
+This package wires together the components of the paper's architecture:
+
+* :class:`~repro.core.application.NetworkApplication` — the application
+  wrapper ( 1 ) that turns raw network data into a property graph and
+  describes it to the LLM;
+* :class:`~repro.core.prompts.ApplicationPromptGenerator` ( 2 ) and
+  :class:`~repro.core.prompts.CodeGenPromptGenerator` ( 3 ) — prompt
+  construction;
+* the LLM itself ( 4 ) lives in :mod:`repro.llm`;
+* the execution sandbox ( 5 ) lives in :mod:`repro.sandbox`;
+* :class:`~repro.core.pipeline.NetworkManagementPipeline` — the end-to-end
+  session loop ( 6 ), including code extraction, execution, and state sync.
+"""
+
+from repro.core.application import NetworkApplication, ApplicationContext
+from repro.core.codeblocks import extract_code_blocks, extract_python_code, extract_sql_code
+from repro.core.prompts import (
+    ApplicationPromptGenerator,
+    CodeGenPromptGenerator,
+    PromptBundle,
+)
+from repro.core.pipeline import (
+    NetworkManagementPipeline,
+    PipelineResult,
+    QueryRequest,
+)
+
+__all__ = [
+    "NetworkApplication",
+    "ApplicationContext",
+    "ApplicationPromptGenerator",
+    "CodeGenPromptGenerator",
+    "PromptBundle",
+    "NetworkManagementPipeline",
+    "PipelineResult",
+    "QueryRequest",
+    "extract_code_blocks",
+    "extract_python_code",
+    "extract_sql_code",
+]

@@ -1,0 +1,174 @@
+"""End-to-end query pipeline (the full loop of the paper's Figure 2).
+
+For one natural-language query the pipeline builds the prompt, calls the
+(simulated) LLM, extracts the code from the response, runs it in the
+execution sandbox against the chosen backend representation, and converts the
+mutated state back into a :class:`PropertyGraph` so the application wrapper —
+or the benchmark evaluator — can inspect it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.application import NetworkApplication
+from repro.core.codeblocks import extract_python_code, extract_sql_code
+from repro.core.prompts import PromptBundle, build_prompt
+from repro.graph import PropertyGraph
+from repro.graph.convert import from_frames, from_networkx, from_sql_database
+from repro.llm.base import LlmProvider, LlmRequest, LlmResponse, TokenLimitExceeded
+from repro.sandbox import ExecutionOutcome, ExecutionSandbox
+from repro.sqlengine import SqlError
+from repro.utils.validation import require_in
+
+
+@dataclass
+class QueryRequest:
+    """One query to run through the pipeline."""
+
+    query: str
+    backend: str
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    attempt: int = 0
+    feedback: Optional[str] = None
+
+
+@dataclass
+class PipelineResult:
+    """Everything produced while answering one query."""
+
+    request: QueryRequest
+    prompt: Optional[PromptBundle] = None
+    response: Optional[LlmResponse] = None
+    code: str = ""
+    execution: Optional[ExecutionOutcome] = None
+    result_value: Any = None
+    updated_graph: Optional[PropertyGraph] = None
+    error_stage: Optional[str] = None    # "prompt", "llm", "extract", "execute"
+    error_message: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        """True when code was produced and executed without an error."""
+        return self.error_stage is None
+
+    @property
+    def cost_usd(self) -> float:
+        return self.response.cost_usd if self.response else 0.0
+
+
+class NetworkManagementPipeline:
+    """Wire an application, an LLM provider, and the sandbox together."""
+
+    def __init__(self, application: NetworkApplication, provider: LlmProvider,
+                 backend: str, sandbox: Optional[ExecutionSandbox] = None) -> None:
+        require_in(backend, ("networkx", "pandas", "sql", "strawman"), "backend")
+        self.application = application
+        self.provider = provider
+        self.backend = backend
+        self.sandbox = sandbox or ExecutionSandbox()
+
+    # ------------------------------------------------------------------
+    def run(self, request: QueryRequest) -> PipelineResult:
+        """Answer one query end to end."""
+        result = PipelineResult(request=request)
+        metadata = dict(request.metadata)
+        metadata.setdefault("backend", self.backend)
+        metadata.setdefault("query", request.query)
+        metadata.setdefault("application", self.application.name)
+
+        result.prompt = build_prompt(self.application, request.query, self.backend,
+                                     extra_metadata=metadata)
+        llm_request = LlmRequest(prompt=result.prompt.text, metadata=result.prompt.metadata,
+                                 attempt=request.attempt, feedback=request.feedback)
+        try:
+            result.response = self.provider.complete(llm_request)
+        except TokenLimitExceeded as exc:
+            result.error_stage = "llm"
+            result.error_message = str(exc)
+            return result
+
+        if self.backend == "strawman":
+            self._interpret_strawman(result)
+            return result
+
+        if self.backend == "sql":
+            result.code = extract_sql_code(result.response.text)
+        else:
+            result.code = extract_python_code(result.response.text)
+        if not result.code:
+            result.error_stage = "extract"
+            result.error_message = "the response contained no code"
+            return result
+
+        if self.backend == "sql":
+            self._execute_sql(result)
+        else:
+            self._execute_python(result)
+        return result
+
+    def run_query(self, query: str, **metadata: Any) -> PipelineResult:
+        """Convenience wrapper accepting a bare query string."""
+        return self.run(QueryRequest(query=query, backend=self.backend, metadata=metadata))
+
+    # ------------------------------------------------------------------
+    def _execute_python(self, result: PipelineResult) -> None:
+        if self.backend == "networkx":
+            namespace: Dict[str, Any] = {"G": self.application.networkx_view()}
+        else:
+            nodes_df, edges_df = self.application.frame_view()
+            namespace = {"nodes_df": nodes_df, "edges_df": edges_df}
+
+        outcome = self.sandbox.execute(result.code, namespace)
+        result.execution = outcome
+        if outcome.failed:
+            result.error_stage = "execute"
+            result.error_message = outcome.describe_error()
+            return
+        result.result_value = outcome.result
+        if self.backend == "networkx":
+            result.updated_graph = from_networkx(outcome.namespace["G"])
+        else:
+            result.updated_graph = from_frames(outcome.namespace["nodes_df"],
+                                               outcome.namespace["edges_df"],
+                                               directed=self.application.graph.directed)
+
+    def _execute_sql(self, result: PipelineResult) -> None:
+        database = self.application.sql_view()
+        statements = [stmt.strip() for stmt in result.code.split(";") if stmt.strip()]
+        last_result = None
+        try:
+            for statement in statements:
+                returned = database.execute(statement)
+                if returned is not None:
+                    last_result = returned
+        except SqlError as exc:
+            result.execution = ExecutionOutcome(
+                success=False, error_type=type(exc).__name__, error_message=str(exc))
+            result.error_stage = "execute"
+            result.error_message = f"{type(exc).__name__}: {exc}"
+            return
+        result.execution = ExecutionOutcome(success=True, result=last_result)
+        result.result_value = last_result
+        result.updated_graph = from_sql_database(
+            database, directed=self.application.graph.directed)
+
+    def _interpret_strawman(self, result: PipelineResult) -> None:
+        """Parse the strawman's direct answer (JSON value and/or graph)."""
+        from repro.graph.serialization import graph_from_dict
+
+        text = result.response.text.strip()
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            # a bare textual answer: keep it as the result value
+            result.result_value = text
+            return
+        if isinstance(payload, dict) and "kind" in payload:
+            result.result_value = payload.get("value")
+            if payload.get("graph") is not None:
+                result.updated_graph = graph_from_dict(payload["graph"])
+        else:
+            result.result_value = payload

@@ -1,0 +1,24 @@
+"""Cost and scalability analysis (paper §4.5, Figure 4).
+
+The analysis compares the dollar cost of answering a query with the
+code-generation approach (prompt contains only the schema and the query)
+against the strawman approach (prompt contains the full serialized graph),
+using real token counts of the prompts this repository actually builds and
+the published per-token prices.
+"""
+
+from repro.cost.analysis import (
+    CostAnalyzer,
+    QueryCost,
+    CostCdf,
+    ScalabilityPoint,
+    ScalabilitySweep,
+)
+
+__all__ = [
+    "CostAnalyzer",
+    "QueryCost",
+    "CostCdf",
+    "ScalabilityPoint",
+    "ScalabilitySweep",
+]

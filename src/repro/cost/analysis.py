@@ -1,0 +1,158 @@
+"""Per-query cost accounting and the graph-size scalability sweep."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.benchmark.queries import BenchmarkQuery, traffic_queries
+from repro.core.prompts import build_prompt
+from repro.llm.catalog import create_provider
+from repro.llm.pricing import DEFAULT_PRICING, PricingTable
+from repro.llm.tokenizer import count_tokens
+from repro.traffic import CommunicationGraphConfig, TrafficAnalysisApplication
+from repro.utils.tables import format_cdf
+from repro.utils.validation import require_positive
+
+
+#: assumed completion size (tokens) for a code answer; generated programs in
+#: this repository are well under this and the figure is insensitive to it
+DEFAULT_COMPLETION_TOKENS = 250
+
+
+@dataclass
+class QueryCost:
+    """Token and dollar cost of answering one query one way."""
+
+    query_id: str
+    backend: str
+    model: str
+    prompt_tokens: int
+    completion_tokens: int
+    cost_usd: float
+    within_token_limit: bool = True
+
+
+@dataclass
+class CostCdf:
+    """Empirical CDF of per-query cost for one approach."""
+
+    backend: str
+    costs: List[float] = field(default_factory=list)
+
+    def points(self, num_points: int = 20) -> List[tuple]:
+        return format_cdf(self.costs, num_points)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.costs) / len(self.costs) if self.costs else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.costs) if self.costs else 0.0
+
+
+@dataclass
+class ScalabilityPoint:
+    """Cost at one graph size (Figure 4b has one of these per x-value)."""
+
+    graph_size: int                     # nodes + edges
+    codegen_cost_usd: float
+    strawman_cost_usd: Optional[float]  # None once the prompt exceeds the window
+    strawman_within_limit: bool
+
+
+@dataclass
+class ScalabilitySweep:
+    """The full Figure-4b series."""
+
+    model: str
+    points: List[ScalabilityPoint] = field(default_factory=list)
+
+    def strawman_limit_size(self) -> Optional[int]:
+        """The smallest graph size at which the strawman exceeds the window."""
+        for point in self.points:
+            if not point.strawman_within_limit:
+                return point.graph_size
+        return None
+
+
+class CostAnalyzer:
+    """Compute Figure 4a (cost CDF) and Figure 4b (cost vs graph size)."""
+
+    def __init__(self, model: str = "gpt-4", pricing: Optional[PricingTable] = None,
+                 completion_tokens: int = DEFAULT_COMPLETION_TOKENS) -> None:
+        require_positive(completion_tokens, "completion_tokens")
+        self.model = model
+        self.pricing = pricing or DEFAULT_PRICING
+        self.completion_tokens = completion_tokens
+        self._provider = create_provider(model)
+
+    # ------------------------------------------------------------------
+    def query_cost(self, application: TrafficAnalysisApplication,
+                   query: BenchmarkQuery, backend: str) -> QueryCost:
+        """Cost of answering one query against one backend."""
+        prompt = build_prompt(application, query.text, backend)
+        prompt_tokens = count_tokens(prompt.text)
+        within_limit = prompt_tokens <= self._provider.context_window
+        cost = self.pricing.cost(self.model, prompt_tokens, self.completion_tokens)
+        return QueryCost(
+            query_id=query.query_id,
+            backend=backend,
+            model=self.model,
+            prompt_tokens=prompt_tokens,
+            completion_tokens=self.completion_tokens,
+            cost_usd=cost,
+            within_token_limit=within_limit,
+        )
+
+    # ------------------------------------------------------------------
+    def cost_cdf(self, node_count: int = 40, edge_count: int = 40,
+                 backends: Sequence[str] = ("networkx", "strawman"),
+                 queries: Optional[Sequence[BenchmarkQuery]] = None,
+                 seed: int = 7) -> Dict[str, CostCdf]:
+        """Figure 4a: per-query cost distribution at a fixed graph size."""
+        application = TrafficAnalysisApplication(config=CommunicationGraphConfig(
+            node_count=node_count, edge_count=edge_count, seed=seed))
+        queries = list(queries or traffic_queries())
+        cdfs: Dict[str, CostCdf] = {}
+        for backend in backends:
+            cdf = CostCdf(backend=backend)
+            for query in queries:
+                cdf.costs.append(self.query_cost(application, query, backend).cost_usd)
+            cdfs[backend] = cdf
+        return cdfs
+
+    # ------------------------------------------------------------------
+    def scalability_sweep(self, graph_sizes: Sequence[int] = (40, 80, 120, 160, 200, 300, 400),
+                          query: Optional[BenchmarkQuery] = None,
+                          seed: int = 7) -> ScalabilitySweep:
+        """Figure 4b: code-gen vs strawman cost as the graph grows.
+
+        ``graph_sizes`` are total sizes (nodes + edges); each size is split
+        evenly between nodes and edges, matching the paper's x-axis.
+        """
+        query = query or traffic_queries()[12]  # the color-by-prefix example query
+        sweep = ScalabilitySweep(model=self.model)
+        for size in graph_sizes:
+            node_count = max(2, size // 2)
+            edge_count = max(1, size - node_count)
+            application = TrafficAnalysisApplication(config=CommunicationGraphConfig(
+                node_count=node_count, edge_count=edge_count, seed=seed))
+            codegen = self.query_cost(application, query, "networkx")
+            strawman = self.query_cost(application, query, "strawman")
+            sweep.points.append(ScalabilityPoint(
+                graph_size=size,
+                codegen_cost_usd=codegen.cost_usd,
+                strawman_cost_usd=strawman.cost_usd if strawman.within_token_limit else None,
+                strawman_within_limit=strawman.within_token_limit,
+            ))
+        return sweep
+
+    # ------------------------------------------------------------------
+    def average_cost_per_task(self, node_count: int = 40, edge_count: int = 40,
+                              backend: str = "networkx") -> float:
+        """The headline "average expense per task" number quoted in the paper."""
+        cdf = self.cost_cdf(node_count=node_count, edge_count=edge_count,
+                            backends=(backend,))
+        return cdf[backend].mean

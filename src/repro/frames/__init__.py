@@ -1,0 +1,25 @@
+"""A small, dependency-free dataframe library.
+
+The paper's *pandas* backend represents the network as two dataframes (a node
+table and an edge table) and lets the LLM-generated code use filtering,
+sorting, grouping and merging.  pandas itself is not available in this
+offline environment, so this package provides the subset of the dataframe API
+that the benchmark queries (and their golden answers) actually exercise:
+
+* :class:`~repro.frames.series.Series` — a typed column with vectorized
+  comparisons, arithmetic, aggregation and a ``.str`` accessor;
+* :class:`~repro.frames.frame.DataFrame` — an ordered collection of equally
+  long columns with boolean-mask selection, ``sort_values``, ``groupby``,
+  ``merge``, ``assign``, ``head`` and record conversion;
+* :class:`~repro.frames.groupby.GroupBy` — group-wise aggregation.
+
+The semantics intentionally mirror pandas so that code written against this
+package reads exactly like the pandas code shown in the paper, which is what
+keeps the "pandas backend" comparison meaningful.
+"""
+
+from repro.frames.series import Series
+from repro.frames.frame import DataFrame, FrameError, concat
+from repro.frames.groupby import GroupBy
+
+__all__ = ["Series", "DataFrame", "FrameError", "GroupBy", "concat"]

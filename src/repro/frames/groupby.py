@@ -1,0 +1,127 @@
+"""Group-wise aggregation for the mini dataframe library."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence, Tuple, Union
+
+from repro.frames.frame import DataFrame, FrameError
+from repro.frames.series import Series
+
+
+_AGGREGATIONS: Dict[str, Callable[[Series], Any]] = {
+    "sum": lambda s: s.sum(),
+    "mean": lambda s: s.mean(),
+    "min": lambda s: s.min(),
+    "max": lambda s: s.max(),
+    "count": lambda s: len(s),
+    "nunique": lambda s: s.nunique(),
+    "first": lambda s: s.values[0] if len(s) else None,
+    "last": lambda s: s.values[-1] if len(s) else None,
+}
+
+
+class SeriesGroupBy:
+    """A single column selected from a :class:`GroupBy` (``gb["bytes"]``)."""
+
+    def __init__(self, groups: "GroupBy", column: str) -> None:
+        self._groups = groups
+        self._column = column
+
+    def _aggregate(self, how: str) -> DataFrame:
+        return self._groups.agg({self._column: how})
+
+    def sum(self) -> DataFrame:
+        return self._aggregate("sum")
+
+    def mean(self) -> DataFrame:
+        return self._aggregate("mean")
+
+    def min(self) -> DataFrame:
+        return self._aggregate("min")
+
+    def max(self) -> DataFrame:
+        return self._aggregate("max")
+
+    def count(self) -> DataFrame:
+        return self._aggregate("count")
+
+    def nunique(self) -> DataFrame:
+        return self._aggregate("nunique")
+
+
+class GroupBy:
+    """Grouping of a :class:`DataFrame` by one or more key columns."""
+
+    def __init__(self, frame: DataFrame, keys: Sequence[str]) -> None:
+        self._frame = frame
+        self._keys = list(keys)
+        self._groups: Dict[Tuple[Any, ...], List[int]] = {}
+        for index, record in frame.iterrows():
+            group_key = tuple(record[k] for k in self._keys)
+            self._groups.setdefault(group_key, []).append(index)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __iter__(self):
+        for key, indices in self._groups.items():
+            group_frame = DataFrame.from_records(
+                [self._frame.row(i) for i in indices], columns=self._frame.columns)
+            yield (key[0] if len(key) == 1 else key), group_frame
+
+    def __getitem__(self, column: str) -> SeriesGroupBy:
+        if column not in self._frame.columns:
+            raise FrameError(f"unknown column {column!r}")
+        return SeriesGroupBy(self, column)
+
+    def groups(self) -> Dict[Tuple[Any, ...], List[int]]:
+        """Mapping from group key tuple to row indices."""
+        return {key: list(indices) for key, indices in self._groups.items()}
+
+    def size(self) -> DataFrame:
+        """Number of rows per group."""
+        records = []
+        for key, indices in self._groups.items():
+            record = dict(zip(self._keys, key))
+            record["size"] = len(indices)
+            records.append(record)
+        return DataFrame.from_records(records, columns=self._keys + ["size"])
+
+    def agg(self, spec: Union[str, Dict[str, Union[str, Callable[[Series], Any]]]]) -> DataFrame:
+        """Aggregate columns per group.
+
+        ``spec`` is either a single aggregation name applied to all non-key
+        columns, or a mapping ``{column: aggregation}`` where the aggregation
+        is a name from ``sum/mean/min/max/count/nunique/first/last`` or a
+        callable taking a :class:`Series`.
+        """
+        if isinstance(spec, str):
+            spec = {column: spec for column in self._frame.columns
+                    if column not in self._keys}
+        resolved: Dict[str, Callable[[Series], Any]] = {}
+        for column, how in spec.items():
+            if column not in self._frame.columns:
+                raise FrameError(f"unknown aggregation column {column!r}")
+            if callable(how):
+                resolved[column] = how
+            elif how in _AGGREGATIONS:
+                resolved[column] = _AGGREGATIONS[how]
+            else:
+                raise FrameError(f"unknown aggregation {how!r}")
+
+        records = []
+        for key, indices in self._groups.items():
+            record: Dict[str, Any] = dict(zip(self._keys, key))
+            for column, func in resolved.items():
+                column_values = Series([self._frame.row(i)[column] for i in indices],
+                                       name=column)
+                record[column] = func(column_values)
+            records.append(record)
+        return DataFrame.from_records(records, columns=self._keys + list(resolved))
+
+    def apply(self, func: Callable[[DataFrame], Any]) -> Dict[Any, Any]:
+        """Apply *func* to each group's sub-frame, returning a dict of results."""
+        results: Dict[Any, Any] = {}
+        for key, group_frame in self:
+            results[key] = func(group_frame)
+        return results

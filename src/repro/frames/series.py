@@ -1,0 +1,262 @@
+"""The :class:`Series` column type of the mini dataframe library."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Union
+
+
+class StringAccessor:
+    """Vectorized string operations, mirroring ``pandas.Series.str``."""
+
+    def __init__(self, series: "Series") -> None:
+        self._series = series
+
+    def _apply(self, func: Callable[[str], Any]) -> "Series":
+        return Series([func(str(v)) if v is not None else None
+                       for v in self._series.values],
+                      name=self._series.name)
+
+    def startswith(self, prefix: str) -> "Series":
+        return self._apply(lambda s: s.startswith(prefix))
+
+    def endswith(self, suffix: str) -> "Series":
+        return self._apply(lambda s: s.endswith(suffix))
+
+    def contains(self, needle: str) -> "Series":
+        return self._apply(lambda s: needle in s)
+
+    def lower(self) -> "Series":
+        return self._apply(str.lower)
+
+    def upper(self) -> "Series":
+        return self._apply(str.upper)
+
+    def split(self, sep: str) -> "Series":
+        return self._apply(lambda s: s.split(sep))
+
+    def replace(self, old: str, new: str) -> "Series":
+        return self._apply(lambda s: s.replace(old, new))
+
+    def len(self) -> "Series":
+        return self._apply(len)
+
+    def slice(self, start: Optional[int] = None, stop: Optional[int] = None) -> "Series":
+        return self._apply(lambda s: s[start:stop])
+
+
+def _broadcast(other: Any, length: int) -> List[Any]:
+    if isinstance(other, Series):
+        if len(other) != length:
+            raise ValueError(f"length mismatch: {len(other)} vs {length}")
+        return list(other.values)
+    if isinstance(other, (list, tuple)):
+        if len(other) != length:
+            raise ValueError(f"length mismatch: {len(other)} vs {length}")
+        return list(other)
+    return [other] * length
+
+
+class Series:
+    """A named column of values with pandas-like vectorized behaviour."""
+
+    def __init__(self, values: Iterable[Any], name: Optional[str] = None) -> None:
+        self.values: List[Any] = list(values)
+        self.name = name
+
+    # -- basic protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __getitem__(self, index: Union[int, slice, "Series"]) -> Any:
+        if isinstance(index, Series):
+            return self.mask(index)
+        if isinstance(index, slice):
+            return Series(self.values[index], name=self.name)
+        return self.values[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(repr(v) for v in self.values[:8])
+        suffix = ", ..." if len(self.values) > 8 else ""
+        return f"Series(name={self.name!r}, [{preview}{suffix}])"
+
+    def __eq__(self, other: Any) -> "Series":  # type: ignore[override]
+        return self._compare(other, lambda a, b: a == b)
+
+    def __ne__(self, other: Any) -> "Series":  # type: ignore[override]
+        return self._compare(other, lambda a, b: a != b)
+
+    def __lt__(self, other: Any) -> "Series":
+        return self._compare(other, lambda a, b: a < b)
+
+    def __le__(self, other: Any) -> "Series":
+        return self._compare(other, lambda a, b: a <= b)
+
+    def __gt__(self, other: Any) -> "Series":
+        return self._compare(other, lambda a, b: a > b)
+
+    def __ge__(self, other: Any) -> "Series":
+        return self._compare(other, lambda a, b: a >= b)
+
+    __hash__ = None  # mutable, comparison returns a mask
+
+    # -- arithmetic -------------------------------------------------------
+    def __add__(self, other: Any) -> "Series":
+        return self._binary(other, lambda a, b: a + b)
+
+    def __radd__(self, other: Any) -> "Series":
+        return self._binary(other, lambda a, b: b + a)
+
+    def __sub__(self, other: Any) -> "Series":
+        return self._binary(other, lambda a, b: a - b)
+
+    def __rsub__(self, other: Any) -> "Series":
+        return self._binary(other, lambda a, b: b - a)
+
+    def __mul__(self, other: Any) -> "Series":
+        return self._binary(other, lambda a, b: a * b)
+
+    def __rmul__(self, other: Any) -> "Series":
+        return self._binary(other, lambda a, b: b * a)
+
+    def __truediv__(self, other: Any) -> "Series":
+        return self._binary(other, lambda a, b: a / b)
+
+    def __and__(self, other: Any) -> "Series":
+        return self._binary(other, lambda a, b: bool(a) and bool(b))
+
+    def __or__(self, other: Any) -> "Series":
+        return self._binary(other, lambda a, b: bool(a) or bool(b))
+
+    def __invert__(self) -> "Series":
+        return Series([not bool(v) for v in self.values], name=self.name)
+
+    def _compare(self, other: Any, op: Callable[[Any, Any], Any]) -> "Series":
+        other_values = _broadcast(other, len(self.values))
+        return Series([op(a, b) for a, b in zip(self.values, other_values)], name=self.name)
+
+    def _binary(self, other: Any, op: Callable[[Any, Any], Any]) -> "Series":
+        other_values = _broadcast(other, len(self.values))
+        return Series([op(a, b) for a, b in zip(self.values, other_values)], name=self.name)
+
+    # -- accessors --------------------------------------------------------
+    @property
+    def str(self) -> StringAccessor:
+        return StringAccessor(self)
+
+    # -- transformations --------------------------------------------------
+    def mask(self, predicate: "Series") -> "Series":
+        """Select the values where the boolean *predicate* series is true."""
+        if len(predicate) != len(self.values):
+            raise ValueError("mask length mismatch")
+        return Series([v for v, keep in zip(self.values, predicate.values) if keep],
+                      name=self.name)
+
+    def map(self, func: Callable[[Any], Any]) -> "Series":
+        return Series([func(v) for v in self.values], name=self.name)
+
+    apply = map
+
+    def astype(self, target_type: Callable[[Any], Any]) -> "Series":
+        return Series([target_type(v) if v is not None else None for v in self.values],
+                      name=self.name)
+
+    def fillna(self, fill_value: Any) -> "Series":
+        return Series([fill_value if v is None else v for v in self.values], name=self.name)
+
+    def isin(self, options: Iterable[Any]) -> "Series":
+        option_set = set(options)
+        return Series([v in option_set for v in self.values], name=self.name)
+
+    def isna(self) -> "Series":
+        return Series([v is None for v in self.values], name=self.name)
+
+    def notna(self) -> "Series":
+        return Series([v is not None for v in self.values], name=self.name)
+
+    def unique(self) -> List[Any]:
+        seen: dict = {}
+        for v in self.values:
+            seen.setdefault(v, None)
+        return list(seen)
+
+    def nunique(self) -> int:
+        return len(self.unique())
+
+    def value_counts(self) -> "Series":
+        counts: dict = {}
+        for v in self.values:
+            counts[v] = counts.get(v, 0) + 1
+        ordered = sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        result = Series([count for _, count in ordered], name=self.name)
+        result.index = [key for key, _ in ordered]
+        return result
+
+    def sort_values(self, ascending: bool = True) -> "Series":
+        return Series(sorted(self.values, reverse=not ascending), name=self.name)
+
+    def tolist(self) -> List[Any]:
+        return list(self.values)
+
+    to_list = tolist
+
+    def head(self, n: int = 5) -> "Series":
+        return Series(self.values[:n], name=self.name)
+
+    # -- aggregation --------------------------------------------------------
+    def _numeric(self) -> List[float]:
+        return [v for v in self.values if isinstance(v, (int, float)) and not isinstance(v, bool)]
+
+    def sum(self) -> float:
+        return sum(self._numeric()) if self._numeric() else 0
+
+    def mean(self) -> float:
+        numeric = self._numeric()
+        if not numeric:
+            raise ValueError("mean of empty series")
+        return sum(numeric) / len(numeric)
+
+    def min(self) -> Any:
+        if not self.values:
+            raise ValueError("min of empty series")
+        return min(self.values)
+
+    def max(self) -> Any:
+        if not self.values:
+            raise ValueError("max of empty series")
+        return max(self.values)
+
+    def count(self) -> int:
+        return sum(1 for v in self.values if v is not None)
+
+    def any(self) -> bool:
+        return any(bool(v) for v in self.values)
+
+    def all(self) -> bool:
+        return all(bool(v) for v in self.values)
+
+    def idxmax(self) -> int:
+        if not self.values:
+            raise ValueError("idxmax of empty series")
+        best_index = 0
+        for i, v in enumerate(self.values):
+            if v > self.values[best_index]:
+                best_index = i
+        return best_index
+
+    def idxmin(self) -> int:
+        if not self.values:
+            raise ValueError("idxmin of empty series")
+        best_index = 0
+        for i, v in enumerate(self.values):
+            if v < self.values[best_index]:
+                best_index = i
+        return best_index
+
+    def nlargest(self, n: int) -> "Series":
+        return Series(sorted(self.values, reverse=True)[:n], name=self.name)
+
+    def nsmallest(self, n: int) -> "Series":
+        return Series(sorted(self.values)[:n], name=self.name)

@@ -1,0 +1,72 @@
+"""Simulated large language models.
+
+The paper evaluates four hosted LLMs (GPT-4, GPT-3, text-davinci-003 and
+Google Bard).  Those APIs are unavailable offline, so this package provides
+*simulated* providers that preserve everything the rest of the system
+depends on:
+
+* the request/response interface, including prompt-token accounting and the
+  per-model context-window limit (which is what the strawman baseline
+  overruns on moderately sized graphs);
+* per-model pricing so the cost analysis of Figure 4 can be reproduced with
+  real token counts;
+* a calibrated *reliability model* — per model, per backend, per task
+  complexity — taken from the paper's measured accuracy tables, which decides
+  whether a simulated response contains correct code (produced by the
+  rule-based synthesizer in :mod:`repro.synthesis`) or faulty code (produced
+  by the fault injector, following the error taxonomy of Table 5);
+* sampling behaviour: the OpenAI-style models are deterministic at
+  temperature 0, while the simulated Bard varies across repeated calls the
+  way the paper handled it (five samples per query).
+
+See DESIGN.md §2 for why this substitution preserves the reproduction
+targets.
+"""
+
+from repro.llm.base import (
+    LlmProvider,
+    LlmRequest,
+    LlmResponse,
+    TokenLimitExceeded,
+)
+from repro.llm.tokenizer import ApproximateTokenizer, count_tokens
+from repro.llm.pricing import PricingTable, ModelPricing, DEFAULT_PRICING
+from repro.llm.calibration import (
+    CalibrationTable,
+    ReliabilityKey,
+    DEFAULT_CALIBRATION,
+)
+from repro.llm.faults import FaultInjector, FaultType
+from repro.llm.providers import (
+    SimulatedLlmProvider,
+    SimulatedGpt4,
+    SimulatedGpt3,
+    SimulatedTextDavinci003,
+    SimulatedBard,
+)
+from repro.llm.catalog import available_models, create_provider, DEFAULT_MODELS
+
+__all__ = [
+    "LlmProvider",
+    "LlmRequest",
+    "LlmResponse",
+    "TokenLimitExceeded",
+    "ApproximateTokenizer",
+    "count_tokens",
+    "PricingTable",
+    "ModelPricing",
+    "DEFAULT_PRICING",
+    "CalibrationTable",
+    "ReliabilityKey",
+    "DEFAULT_CALIBRATION",
+    "FaultInjector",
+    "FaultType",
+    "SimulatedLlmProvider",
+    "SimulatedGpt4",
+    "SimulatedGpt3",
+    "SimulatedTextDavinci003",
+    "SimulatedBard",
+    "available_models",
+    "create_provider",
+    "DEFAULT_MODELS",
+]

@@ -1,0 +1,219 @@
+"""Calibrated reliability model of the simulated LLMs.
+
+The hosted models' measured accuracy (paper Tables 3 and 4) is the only part
+of the original system we cannot re-run offline, so it becomes the *input*
+of the simulation: for every (model, application, backend, complexity) cell
+the table stores the fraction of queries the model answered correctly.  A
+simulated provider then passes a query if and only if the query's difficulty
+rank within its complexity bucket is below ``round(fraction * bucket_size)``
+— the same per-query determinism the paper observed (temperature-0 models
+answer the same way every time, and the *same* queries tend to fail across
+models).
+
+The fault-type distribution (paper Table 5) and the complementary-technique
+behaviour (paper Table 6: pass@5 and self-debug on Bard) are calibrated the
+same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.utils.hashing import stable_hash
+from repro.utils.validation import require, require_in
+
+
+#: canonical model identifiers
+MODELS = ("gpt-4", "gpt-3", "text-davinci-003", "bard")
+APPLICATIONS = ("traffic_analysis", "malt")
+BACKENDS = ("strawman", "sql", "pandas", "networkx")
+COMPLEXITIES = ("easy", "medium", "hard")
+
+ReliabilityKey = Tuple[str, str, str, str]  # (model, application, backend, complexity)
+
+
+# ---------------------------------------------------------------------------
+# paper Table 3 — traffic analysis, per complexity (8 queries per bucket)
+# paper Table 4 — MALT, per complexity (3 queries per bucket)
+# ---------------------------------------------------------------------------
+_TRAFFIC = {
+    ("gpt-4", "strawman"): (0.50, 0.38, 0.00),
+    ("gpt-3", "strawman"): (0.38, 0.13, 0.00),
+    ("text-davinci-003", "strawman"): (0.38, 0.25, 0.00),
+    ("bard", "strawman"): (0.50, 0.25, 0.00),
+    ("gpt-4", "sql"): (0.75, 0.50, 0.25),
+    ("gpt-3", "sql"): (0.25, 0.13, 0.00),
+    ("text-davinci-003", "sql"): (0.63, 0.25, 0.00),
+    ("bard", "sql"): (0.38, 0.25, 0.00),
+    ("gpt-4", "pandas"): (0.50, 0.50, 0.13),
+    ("gpt-3", "pandas"): (0.50, 0.25, 0.00),
+    ("text-davinci-003", "pandas"): (0.63, 0.25, 0.00),
+    ("bard", "pandas"): (0.50, 0.13, 0.13),
+    ("gpt-4", "networkx"): (1.00, 1.00, 0.63),
+    ("gpt-3", "networkx"): (1.00, 0.63, 0.25),
+    ("text-davinci-003", "networkx"): (1.00, 0.75, 0.13),
+    ("bard", "networkx"): (0.88, 0.50, 0.38),
+}
+
+_MALT = {
+    ("gpt-4", "sql"): (0.33, 0.00, 0.00),
+    ("gpt-3", "sql"): (0.33, 0.00, 0.00),
+    ("text-davinci-003", "sql"): (0.33, 0.00, 0.00),
+    ("bard", "sql"): (0.33, 0.00, 0.00),
+    ("gpt-4", "pandas"): (0.67, 0.67, 0.33),
+    ("gpt-3", "pandas"): (0.67, 0.67, 0.00),
+    ("text-davinci-003", "pandas"): (0.33, 0.33, 0.00),
+    ("bard", "pandas"): (0.67, 0.33, 0.00),
+    ("gpt-4", "networkx"): (1.00, 1.00, 0.33),
+    ("gpt-3", "networkx"): (0.67, 0.67, 0.00),
+    ("text-davinci-003", "networkx"): (0.67, 0.67, 0.33),
+    ("bard", "networkx"): (0.67, 0.33, 0.33),
+}
+
+
+# ---------------------------------------------------------------------------
+# paper Table 5 — error type distribution of failed NetworkX generations
+# ---------------------------------------------------------------------------
+ERROR_TYPE_WEIGHTS = {
+    "traffic_analysis": {
+        "syntax_error": 9,
+        "imaginary_graph_attribute": 9,
+        "imaginary_function_argument": 3,
+        "argument_error": 7,
+        "operation_error": 4,
+        "wrong_calculation_logic": 2,
+        "graphs_not_identical": 1,
+    },
+    "malt": {
+        "syntax_error": 0,
+        "imaginary_graph_attribute": 1,
+        "imaginary_function_argument": 2,
+        "argument_error": 8,
+        "operation_error": 2,
+        "wrong_calculation_logic": 3,
+        "graphs_not_identical": 1,
+    },
+}
+
+
+@dataclass(frozen=True)
+class TechniqueCalibration:
+    """Behaviour of the complementary synthesis techniques (paper Table 6)."""
+
+    #: fraction of previously failing queries that produce a correct sample
+    #: within k=5 attempts (Bard on MALT recovered 3/3)
+    pass_at_5_recovery: float = 1.0
+    #: fraction of previously failing queries fixed by one self-debug round
+    #: (calibrated so the overall accuracy after one round lands near the
+    #: paper's 0.67 on the MALT/NetworkX case study)
+    self_debug_fix_rate: float = 0.50
+    #: latest attempt index (1-based) at which a recovering query succeeds
+    max_recovery_attempt: int = 5
+
+
+class CalibrationTable:
+    """Lookup and decision logic for the simulated models' reliability."""
+
+    def __init__(self,
+                 traffic: Optional[Dict[Tuple[str, str], Tuple[float, float, float]]] = None,
+                 malt: Optional[Dict[Tuple[str, str], Tuple[float, float, float]]] = None,
+                 technique: Optional[TechniqueCalibration] = None) -> None:
+        self._tables = {
+            "traffic_analysis": dict(traffic if traffic is not None else _TRAFFIC),
+            "malt": dict(malt if malt is not None else _MALT),
+        }
+        self.technique = technique or TechniqueCalibration()
+
+    # ------------------------------------------------------------------
+    def reliability(self, model: str, application: str, backend: str,
+                    complexity: str) -> float:
+        """The calibrated pass fraction for one table cell."""
+        require_in(model, MODELS, "model")
+        require_in(application, APPLICATIONS, "application")
+        require_in(backend, BACKENDS, "backend")
+        require_in(complexity, COMPLEXITIES, "complexity")
+        if backend == "strawman":
+            if application != "traffic_analysis":
+                # The paper only evaluates the strawman on traffic analysis
+                # (MALT graphs never fit in the prompt window).
+                return 0.0
+            table = self._tables[application]
+        else:
+            table = self._tables[application]
+        key = (model, backend)
+        if key not in table:
+            require(backend == "strawman", f"no calibration for {key!r} in {application}")
+            key = (model, "strawman")
+        fractions = table[key]
+        return fractions[COMPLEXITIES.index(complexity)]
+
+    def passing_count(self, model: str, application: str, backend: str,
+                      complexity: str, bucket_size: int) -> int:
+        """Number of queries in a complexity bucket the model answers correctly."""
+        fraction = self.reliability(model, application, backend, complexity)
+        return int(round(fraction * bucket_size))
+
+    def passes(self, model: str, application: str, backend: str,
+               complexity: str, difficulty_rank: int, bucket_size: int) -> bool:
+        """Whether the query at *difficulty_rank* (0 = easiest) passes.
+
+        Queries are ranked by difficulty inside their complexity bucket; the
+        model answers the ``passing_count`` easiest ones correctly.  This
+        reproduces the paper's per-cell accuracy exactly and keeps the set of
+        failing queries consistent across models, matching the observation
+        that harder queries fail across the board.
+        """
+        return difficulty_rank < self.passing_count(model, application, backend,
+                                                    complexity, bucket_size)
+
+    # ------------------------------------------------------------------
+    def fault_type_for(self, application: str, query_id: str, model: str,
+                       backend: str) -> str:
+        """Deterministically draw a fault type following the Table-5 mix."""
+        weights = ERROR_TYPE_WEIGHTS.get(application, ERROR_TYPE_WEIGHTS["traffic_analysis"])
+        entries = [(name, weight) for name, weight in weights.items() if weight > 0]
+        total = sum(weight for _, weight in entries)
+        draw = stable_hash("fault", application, query_id, model, backend) % total
+        cumulative = 0
+        for name, weight in entries:
+            cumulative += weight
+            if draw < cumulative:
+                return name
+        return entries[-1][0]
+
+    # ------------------------------------------------------------------
+    def recovery_attempt(self, query_id: str, model: str, backend: str) -> Optional[int]:
+        """The 1-based attempt at which a failing query produces correct code.
+
+        Only non-deterministic models (Bard) recover through re-sampling;
+        the attempt index is deterministic per query so pass@k results are
+        reproducible.  Returns ``None`` when the query never recovers within
+        ``max_recovery_attempt`` samples.
+        """
+        recovers = (stable_hash("recovery", query_id, model, backend) % 100
+                    < int(self.technique.pass_at_5_recovery * 100))
+        if not recovers:
+            return None
+        span = self.technique.max_recovery_attempt - 1
+        return 2 + stable_hash("recovery-attempt", query_id, model, backend) % span
+
+    def self_debug_fixes(self, query_id: str, model: str, backend: str,
+                         fault_type: str) -> bool:
+        """Whether one self-debug round (error fed back) fixes the failure.
+
+        Failures with an explicit runtime signal (syntax errors, imaginary
+        attributes, bad arguments) are the ones self-debug tends to fix; the
+        overall fix rate is calibrated to the paper's 67%.
+        """
+        easily_fixable = fault_type in (
+            "syntax_error", "imaginary_graph_attribute", "imaginary_function_argument")
+        threshold = self.technique.self_debug_fix_rate
+        if easily_fixable:
+            threshold = min(1.0, threshold + 0.15)
+        draw = (stable_hash("self-debug", query_id, model, backend, fault_type) % 1000) / 1000.0
+        return draw < threshold
+
+
+#: the calibration used throughout the benchmark unless a test overrides it
+DEFAULT_CALIBRATION = CalibrationTable()

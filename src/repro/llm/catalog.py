@@ -1,0 +1,44 @@
+"""Registry of the simulated models evaluated in the paper."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.llm.calibration import CalibrationTable
+from repro.llm.pricing import PricingTable
+from repro.llm.providers import (
+    SimulatedBard,
+    SimulatedGpt3,
+    SimulatedGpt4,
+    SimulatedLlmProvider,
+    SimulatedTextDavinci003,
+)
+
+
+_REGISTRY: Dict[str, Type[SimulatedLlmProvider]] = {
+    SimulatedGpt4.model_name: SimulatedGpt4,
+    SimulatedGpt3.model_name: SimulatedGpt3,
+    SimulatedTextDavinci003.model_name: SimulatedTextDavinci003,
+    SimulatedBard.model_name: SimulatedBard,
+}
+
+#: the four models of the paper's evaluation, in table order
+DEFAULT_MODELS: List[str] = [
+    SimulatedGpt4.model_name,
+    SimulatedGpt3.model_name,
+    SimulatedTextDavinci003.model_name,
+    SimulatedBard.model_name,
+]
+
+
+def available_models() -> List[str]:
+    """Names of all registered simulated models."""
+    return list(_REGISTRY)
+
+
+def create_provider(model: str, pricing: Optional[PricingTable] = None,
+                    calibration: Optional[CalibrationTable] = None) -> SimulatedLlmProvider:
+    """Instantiate a simulated provider by model name."""
+    if model not in _REGISTRY:
+        raise KeyError(f"unknown model {model!r}; available: {available_models()}")
+    return _REGISTRY[model](pricing=pricing, calibration=calibration)

@@ -1,0 +1,58 @@
+"""Per-model token pricing.
+
+Prices follow the published Azure OpenAI / OpenAI price sheets from the
+paper's time frame (mid-2023), expressed in USD per 1,000 tokens.  Bard had
+no public price; the paper's cost analysis uses GPT-4 pricing, and so do the
+cost benchmarks here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class ModelPricing:
+    """USD cost per 1,000 prompt and completion tokens."""
+
+    prompt_per_1k: float
+    completion_per_1k: float
+
+    def cost(self, prompt_tokens: int, completion_tokens: int) -> float:
+        """Dollar cost of one request."""
+        require_positive(prompt_tokens, "prompt_tokens", allow_zero=True)
+        require_positive(completion_tokens, "completion_tokens", allow_zero=True)
+        return (prompt_tokens / 1000.0) * self.prompt_per_1k + \
+               (completion_tokens / 1000.0) * self.completion_per_1k
+
+
+class PricingTable:
+    """Lookup of :class:`ModelPricing` by model name."""
+
+    def __init__(self, prices: Dict[str, ModelPricing]) -> None:
+        self._prices = dict(prices)
+
+    def for_model(self, model: str) -> ModelPricing:
+        if model not in self._prices:
+            raise KeyError(f"no pricing for model {model!r}; known: {sorted(self._prices)}")
+        return self._prices[model]
+
+    def models(self):
+        return sorted(self._prices)
+
+    def cost(self, model: str, prompt_tokens: int, completion_tokens: int) -> float:
+        return self.for_model(model).cost(prompt_tokens, completion_tokens)
+
+
+#: Azure OpenAI pricing (USD / 1k tokens) as of mid-2023, plus stand-ins for
+#: models without public pricing.
+DEFAULT_PRICING = PricingTable({
+    "gpt-4": ModelPricing(prompt_per_1k=0.03, completion_per_1k=0.06),
+    "gpt-4-32k": ModelPricing(prompt_per_1k=0.06, completion_per_1k=0.12),
+    "gpt-3": ModelPricing(prompt_per_1k=0.002, completion_per_1k=0.002),
+    "text-davinci-003": ModelPricing(prompt_per_1k=0.02, completion_per_1k=0.02),
+    "bard": ModelPricing(prompt_per_1k=0.03, completion_per_1k=0.06),
+})

@@ -1,0 +1,195 @@
+"""Simulated LLM providers.
+
+Every provider follows the same recipe, which is the substitution documented
+in DESIGN.md: the *interface* (prompt in, text out, token accounting, context
+window) matches a hosted model, while the *content* of the response comes
+from the rule-based synthesizer plus a calibrated decision about whether this
+model, on this backend, at this task complexity, would have produced correct
+code.  Failing responses contain plausible-but-wrong code rendered by the
+fault injector so that the downstream pipeline (sandbox, evaluator, error
+classifier, self-debug) sees realistic failures.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Optional, Tuple
+
+from repro.graph.serialization import graph_from_json
+from repro.llm.base import LlmProvider, LlmRequest
+from repro.llm.calibration import CalibrationTable, DEFAULT_CALIBRATION
+from repro.llm.faults import FaultInjector
+from repro.llm.pricing import PricingTable
+from repro.synthesis.engine import CodeSynthesisEngine, UnsupportedQueryError
+from repro.synthesis.intents import Intent, IntentParseError
+
+
+_STRAWMAN_DATA_PATTERN = re.compile(
+    r"Network data \(JSON\):\n\n(?P<payload>\{.*\})\n\nOperator request:", re.DOTALL)
+
+
+def _intent_from_metadata(metadata: Dict[str, Any]) -> Optional[Intent]:
+    intent_spec = metadata.get("intent")
+    if not intent_spec:
+        return None
+    return Intent.create(intent_spec["name"], **intent_spec.get("params", {}))
+
+
+class SimulatedLlmProvider(LlmProvider):
+    """Base class implementing the calibrated generate step."""
+
+    def __init__(self, pricing: Optional[PricingTable] = None,
+                 calibration: Optional[CalibrationTable] = None,
+                 synthesis: Optional[CodeSynthesisEngine] = None) -> None:
+        super().__init__(pricing=pricing)
+        self._calibration = calibration or DEFAULT_CALIBRATION
+        self._synthesis = synthesis or CodeSynthesisEngine()
+        self._faults = FaultInjector()
+
+    # ------------------------------------------------------------------
+    @property
+    def calibration(self) -> CalibrationTable:
+        return self._calibration
+
+    def _decide_pass(self, request: LlmRequest) -> Tuple[bool, Dict[str, Any]]:
+        """Apply the calibrated reliability model to one request."""
+        metadata = request.metadata
+        info: Dict[str, Any] = {}
+        # Without benchmark metadata (interactive use) the simulator behaves
+        # like its best self: it answers correctly whenever the synthesizer
+        # can express the query.
+        required = ("application", "backend", "complexity", "difficulty_rank", "bucket_size")
+        if not all(key in metadata for key in required):
+            info["calibrated"] = False
+            return True, info
+        info["calibrated"] = True
+        base_pass = self._calibration.passes(
+            self.model_name, metadata["application"], metadata["backend"],
+            metadata["complexity"], metadata["difficulty_rank"], metadata["bucket_size"])
+        if base_pass:
+            return True, info
+
+        query_id = metadata.get("query_id", metadata.get("query", ""))
+        backend = metadata["backend"]
+        # non-deterministic models may recover on a later sample (pass@k)
+        if not self.deterministic and request.attempt > 0:
+            recovery = self._calibration.recovery_attempt(query_id, self.model_name, backend)
+            info["recovery_attempt"] = recovery
+            if recovery is not None and (request.attempt + 1) >= recovery:
+                return True, info
+        # a self-debug round (error message fed back) may fix the failure
+        if request.feedback:
+            fault_type = self._calibration.fault_type_for(
+                metadata["application"], query_id, self.model_name, backend)
+            if self._calibration.self_debug_fixes(query_id, self.model_name, backend, fault_type):
+                info["fixed_by_self_debug"] = True
+                return True, info
+        return False, info
+
+    # ------------------------------------------------------------------
+    def _generate(self, request: LlmRequest) -> Tuple[str, Dict[str, Any]]:
+        metadata = request.metadata
+        backend = metadata.get("backend", "networkx")
+        query = metadata.get("query", request.prompt)
+        intent = _intent_from_metadata(metadata)
+        should_pass, info = self._decide_pass(request)
+
+        if backend == "strawman":
+            return self._generate_strawman(request, query, intent, should_pass, info)
+
+        correct_code = None
+        language = "sql" if backend == "sql" else "python"
+        try:
+            program = self._synthesis.generate(intent if intent is not None else query, backend)
+            correct_code = program.code
+        except UnsupportedQueryError as exc:
+            info["unsupported"] = str(exc)
+
+        if should_pass and correct_code is not None:
+            info["intended_correct"] = True
+            text = (f"Here is the {backend} code for the request:\n\n"
+                    f"```{language}\n{correct_code}\n```")
+            return text, info
+
+        info["intended_correct"] = False
+        query_id = metadata.get("query_id", query)
+        fault_type = self._calibration.fault_type_for(
+            metadata.get("application", "traffic_analysis"), query_id,
+            self.model_name, backend)
+        info["fault_type"] = fault_type
+        faulty_code = self._faults.render(fault_type, backend, correct_code)
+        text = (f"Here is the {backend} code for the request:\n\n"
+                f"```{language}\n{faulty_code}\n```")
+        return text, info
+
+    # ------------------------------------------------------------------
+    def _generate_strawman(self, request: LlmRequest, query: str,
+                           intent: Optional[Intent], should_pass: bool,
+                           info: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
+        """Answer directly from the data embedded in the prompt."""
+        match = _STRAWMAN_DATA_PATTERN.search(request.prompt)
+        if match is None:
+            info["intended_correct"] = False
+            info["fault_type"] = "syntax_error"
+            return "I cannot find the network data in the prompt.", info
+        if not should_pass:
+            info["intended_correct"] = False
+            fault_type = self._calibration.fault_type_for(
+                request.metadata.get("application", "traffic_analysis"),
+                request.metadata.get("query_id", query), self.model_name, "strawman")
+            info["fault_type"] = fault_type
+            return self._faults.render(fault_type, "strawman"), info
+        try:
+            graph = graph_from_json(match.group("payload"))
+            answer = self._synthesis.answer_directly(
+                intent if intent is not None else query, graph)
+        except (UnsupportedQueryError, IntentParseError, ValueError, KeyError) as exc:
+            info["intended_correct"] = False
+            info["fault_type"] = "wrong_calculation_logic"
+            info["error"] = str(exc)
+            return "0", info
+        info["intended_correct"] = True
+        return answer, info
+
+
+class SimulatedGpt4(SimulatedLlmProvider):
+    """Simulated GPT-4 (8k context window, deterministic at temperature 0)."""
+
+    model_name = "gpt-4"
+    display_name = "GPT-4"
+    context_window = 8192
+    deterministic = True
+
+
+class SimulatedGpt3(SimulatedLlmProvider):
+    """Simulated GPT-3 (2k context window, deterministic at temperature 0)."""
+
+    model_name = "gpt-3"
+    display_name = "GPT-3"
+    context_window = 2049
+    deterministic = True
+
+
+class SimulatedTextDavinci003(SimulatedLlmProvider):
+    """Simulated text-davinci-003 (4k window, deterministic at temperature 0)."""
+
+    model_name = "text-davinci-003"
+    display_name = "text-davinci-003"
+    context_window = 4097
+    deterministic = True
+
+
+class SimulatedBard(SimulatedLlmProvider):
+    """Simulated Google Bard.
+
+    Bard's temperature cannot be fixed, so the paper samples each query five
+    times; the simulated model is therefore flagged non-deterministic and its
+    failing queries may recover on later attempts (see
+    :meth:`repro.llm.calibration.CalibrationTable.recovery_attempt`).
+    """
+
+    model_name = "bard"
+    display_name = "Google Bard"
+    context_window = 2048
+    deterministic = False

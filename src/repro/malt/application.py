@@ -1,0 +1,73 @@
+"""Application wrapper for the MALT network-lifecycle-management workload."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.application import ApplicationContext, NetworkApplication
+from repro.graph import PropertyGraph
+from repro.malt.generator import MaltTopologyConfig, generate_malt_topology
+from repro.malt.schema import describe_schema
+
+
+class MaltApplication(NetworkApplication):
+    """Network lifecycle management over a MALT topology graph.
+
+    The wrapper exposes the MALT entity/relationship graph in every backend
+    representation and provides the schema description (entity kinds,
+    relationship kinds, their attributes) for the prompt generator — this is
+    the "MALT wrapper" the paper describes as extracting entities and
+    relationships and describing them in natural language.
+    """
+
+    name = "malt"
+
+    def __init__(self, graph: Optional[PropertyGraph] = None,
+                 config: Optional[MaltTopologyConfig] = None) -> None:
+        if graph is None:
+            graph = generate_malt_topology(config)
+        super().__init__(graph)
+
+    @classmethod
+    def small(cls, seed: int = 11) -> "MaltApplication":
+        """A small topology for tests and examples (hundreds of nodes)."""
+        config = MaltTopologyConfig(
+            datacenters=1, pods_per_datacenter=2, racks_per_pod=2,
+            chassis_per_rack=2, switches_per_chassis=2, ports_per_switch=3,
+            control_points=4, port_links=6, seed=seed)
+        return cls(config=config)
+
+    def context(self) -> ApplicationContext:
+        return ApplicationContext(
+            application_name="Network lifecycle management (MALT)",
+            application_description=(
+                "The network state is a Multi-Abstraction-Layer Topology (MALT): "
+                "a directed graph of typed entities (datacenters, pods, racks, "
+                "chassis, packet switches, ports, control points) connected by "
+                "typed relationships.  Containment edges point from the container "
+                "to the contained entity; control edges point from a control point "
+                "to the packet switch it manages."),
+            graph_description="\n".join([self.graph_summary(), describe_schema()]),
+            node_schema={
+                "type": "entity kind, one of the EK_* names",
+                "name": "hierarchical entity name, e.g. 'ju1.a1.m1.s2c1'",
+                "capacity": "capacity in Gbps (chassis and packet switches)",
+                "vendor": "hardware vendor (packet switches)",
+                "speed_gbps": "port speed in Gbps (ports)",
+                "status": "port status, 'up' or 'down' (ports)",
+            },
+            edge_schema={
+                "relationship": "relationship kind: RK_CONTAINS, RK_CONTROLS, or RK_CONNECTED_TO",
+            },
+            terminology={
+                "contained by": "X is contained by Y when there is an RK_CONTAINS edge from Y to X",
+                "controls": "a control point controls a packet switch via an RK_CONTROLS edge",
+                "capacity balancing": "after removing a switch, redistribute its capacity equally "
+                                       "over the remaining switches in the same chassis",
+            },
+            example_queries=[
+                "List all ports that are contained by packet switch ju1.a1.m1.s2c1.",
+                "Find the first and the second largest chassis by capacity.",
+                "Remove packet switch ju1.a1.m1.s1c1 from its chassis and rebalance the capacity.",
+            ],
+        )

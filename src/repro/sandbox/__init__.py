@@ -1,0 +1,29 @@
+"""Execution sandbox (component  5  of the paper's Figure 2).
+
+LLM-generated code must never run with the operator's full privileges; the
+paper highlights virtualization/containerization plus library and syscall
+restrictions.  In this reproduction the sandbox is an in-process restricted
+interpreter:
+
+* an AST policy check rejects dangerous constructs *before* execution
+  (imports outside an allowlist, file/OS access, ``exec``/``eval``,
+  dunder attribute access);
+* execution happens under a curated builtins table and a namespace containing
+  only the objects the backend intentionally exposes (the graph, the frames,
+  or the SQL database);
+* a wall-clock budget and a statement budget bound runaway code;
+* the outcome (result value, mutated namespace, stdout, or the normalized
+  error) is captured in a :class:`~repro.sandbox.executor.ExecutionOutcome`.
+"""
+
+from repro.sandbox.policy import SandboxPolicy, PolicyViolation, validate_source
+from repro.sandbox.executor import ExecutionOutcome, ExecutionSandbox, SandboxTimeout
+
+__all__ = [
+    "SandboxPolicy",
+    "PolicyViolation",
+    "validate_source",
+    "ExecutionOutcome",
+    "ExecutionSandbox",
+    "SandboxTimeout",
+]

@@ -1,0 +1,168 @@
+"""Restricted execution of LLM-generated code."""
+
+from __future__ import annotations
+
+import builtins
+import contextlib
+import io
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.sandbox.policy import PolicyViolation, SandboxPolicy, validate_source
+
+
+class SandboxTimeout(RuntimeError):
+    """Raised (and captured) when generated code exceeds the time budget."""
+
+
+#: builtins exposed to generated code — enough for data manipulation, nothing
+#: that touches the filesystem, processes, or the interpreter internals.
+_SAFE_BUILTIN_NAMES = (
+    "abs", "all", "any", "bool", "dict", "divmod", "enumerate", "filter",
+    "float", "format", "frozenset", "getattr", "hasattr", "hash", "int",
+    "isinstance", "issubclass", "iter", "len", "list", "map", "max", "min",
+    "next", "object", "pow", "print", "range", "repr", "reversed", "round",
+    "set", "setattr", "slice", "sorted", "str", "sum", "tuple", "type", "zip",
+    "Exception", "ValueError", "TypeError", "KeyError", "IndexError",
+    "AttributeError", "ZeroDivisionError", "StopIteration", "RuntimeError",
+    "ArithmeticError", "LookupError", "NotImplementedError", "True", "False",
+    "None",
+)
+
+
+def _safe_builtins() -> Dict[str, Any]:
+    table: Dict[str, Any] = {}
+    for name in _SAFE_BUILTIN_NAMES:
+        if hasattr(builtins, name):
+            table[name] = getattr(builtins, name)
+    # a controlled __import__ that honours the sandbox policy is installed
+    # per-execution in ExecutionSandbox.execute
+    return table
+
+
+@dataclass
+class ExecutionOutcome:
+    """Everything captured from one sandboxed execution."""
+
+    success: bool
+    result: Any = None
+    namespace: Dict[str, Any] = field(default_factory=dict)
+    stdout: str = ""
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+    traceback_text: Optional[str] = None
+    duration_seconds: float = 0.0
+
+    @property
+    def failed(self) -> bool:
+        return not self.success
+
+    def describe_error(self) -> str:
+        if self.success:
+            return ""
+        return f"{self.error_type}: {self.error_message}"
+
+
+class ExecutionSandbox:
+    """Run generated Python in a restricted namespace with a time budget.
+
+    Parameters
+    ----------
+    policy:
+        The static and dynamic limits to enforce.
+    result_variable:
+        Name of the variable the generated code is asked to leave its answer
+        in (the prompt instructs the LLM to assign to ``result``).
+    """
+
+    def __init__(self, policy: Optional[SandboxPolicy] = None,
+                 result_variable: str = "result") -> None:
+        self.policy = policy or SandboxPolicy()
+        self.result_variable = result_variable
+
+    # ------------------------------------------------------------------
+    def _restricted_import(self, name: str, globals=None, locals=None,
+                           fromlist=(), level=0):
+        root = name.split(".")[0]
+        if root not in self.policy.allowed_imports:
+            raise PolicyViolation(f"import of module {name!r} is not allowed")
+        return __import__(name, globals, locals, fromlist, level)
+
+    def execute(self, source: str, namespace: Optional[Dict[str, Any]] = None,
+                validate: bool = True) -> ExecutionOutcome:
+        """Execute *source* and capture its outcome.
+
+        The provided *namespace* (graph objects, frames, databases, helper
+        libraries) is copied into the execution globals; the same dictionary
+        is returned in the outcome so callers can inspect mutations.
+        """
+        start = time.perf_counter()
+        exec_globals: Dict[str, Any] = dict(namespace or {})
+        builtin_table = _safe_builtins()
+        builtin_table["__import__"] = self._restricted_import
+        exec_globals["__builtins__"] = builtin_table
+        stdout_buffer = io.StringIO()
+
+        if validate:
+            try:
+                validate_source(source, self.policy)
+            except SyntaxError as exc:
+                return self._failure(exc, stdout_buffer, exec_globals, start)
+            except PolicyViolation as exc:
+                return self._failure(exc, stdout_buffer, exec_globals, start)
+
+        try:
+            compiled = compile(source, "<generated-code>", "exec")
+        except SyntaxError as exc:
+            return self._failure(exc, stdout_buffer, exec_globals, start)
+
+        error_holder: Dict[str, BaseException] = {}
+
+        def _run() -> None:
+            try:
+                with contextlib.redirect_stdout(stdout_buffer):
+                    exec(compiled, exec_globals)  # noqa: S102 - sandboxed by policy
+            except BaseException as exc:  # noqa: BLE001 - captured and reported
+                error_holder["error"] = exc
+
+        worker = threading.Thread(target=_run, daemon=True)
+        worker.start()
+        worker.join(self.policy.max_seconds)
+        if worker.is_alive():
+            timeout = SandboxTimeout(
+                f"generated code exceeded the {self.policy.max_seconds:.1f}s time budget")
+            return self._failure(timeout, stdout_buffer, exec_globals, start)
+        if "error" in error_holder:
+            return self._failure(error_holder["error"], stdout_buffer, exec_globals, start)
+
+        duration = time.perf_counter() - start
+        exec_globals.pop("__builtins__", None)
+        return ExecutionOutcome(
+            success=True,
+            result=exec_globals.get(self.result_variable),
+            namespace=exec_globals,
+            stdout=stdout_buffer.getvalue(),
+            duration_seconds=duration,
+        )
+
+    # ------------------------------------------------------------------
+    def _failure(self, exc: BaseException, stdout_buffer: io.StringIO,
+                 exec_globals: Dict[str, Any], start: float) -> ExecutionOutcome:
+        duration = time.perf_counter() - start
+        exec_globals.pop("__builtins__", None)
+        if isinstance(exc, SyntaxError):
+            message = f"{exc.msg} (line {exc.lineno})"
+        else:
+            message = str(exc)
+        return ExecutionOutcome(
+            success=False,
+            namespace=exec_globals,
+            stdout=stdout_buffer.getvalue(),
+            error_type=type(exc).__name__,
+            error_message=message,
+            traceback_text="".join(traceback.format_exception_only(type(exc), exc)),
+            duration_seconds=duration,
+        )

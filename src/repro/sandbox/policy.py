@@ -1,0 +1,132 @@
+"""Static (AST-level) safety policy for LLM-generated code."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set
+
+from repro.utils.validation import ValidationError
+
+
+class PolicyViolation(ValidationError):
+    """Raised when generated code violates the sandbox policy."""
+
+
+#: modules that generated code is allowed to import
+DEFAULT_ALLOWED_IMPORTS: FrozenSet[str] = frozenset({
+    "networkx", "math", "statistics", "collections", "itertools", "functools",
+    "json", "re", "ipaddress", "heapq", "operator", "random", "numpy",
+})
+
+#: call names that are never allowed, even if reachable some other way
+DEFAULT_FORBIDDEN_CALLS: FrozenSet[str] = frozenset({
+    "eval", "exec", "compile", "open", "input", "__import__", "globals",
+    "locals", "vars", "exit", "quit", "breakpoint", "help", "memoryview",
+})
+
+#: attribute names that indicate an escape attempt
+DEFAULT_FORBIDDEN_ATTRIBUTES: FrozenSet[str] = frozenset({
+    "__globals__", "__builtins__", "__subclasses__", "__bases__", "__mro__",
+    "__code__", "__closure__", "__getattribute__", "__reduce__", "__reduce_ex__",
+    "__class__", "__dict__", "__loader__", "__spec__",
+})
+
+
+@dataclass
+class SandboxPolicy:
+    """Configurable limits applied to generated code."""
+
+    allowed_imports: FrozenSet[str] = DEFAULT_ALLOWED_IMPORTS
+    forbidden_calls: FrozenSet[str] = DEFAULT_FORBIDDEN_CALLS
+    forbidden_attributes: FrozenSet[str] = DEFAULT_FORBIDDEN_ATTRIBUTES
+    max_source_lines: int = 400
+    max_seconds: float = 10.0
+    max_operations: int = 5_000_000
+
+    def with_extra_imports(self, *modules: str) -> "SandboxPolicy":
+        """Return a copy of the policy that also allows importing *modules*."""
+        return SandboxPolicy(
+            allowed_imports=frozenset(self.allowed_imports) | set(modules),
+            forbidden_calls=self.forbidden_calls,
+            forbidden_attributes=self.forbidden_attributes,
+            max_source_lines=self.max_source_lines,
+            max_seconds=self.max_seconds,
+            max_operations=self.max_operations,
+        )
+
+
+class _PolicyVisitor(ast.NodeVisitor):
+    """Collect policy violations over the whole AST (not just the first)."""
+
+    def __init__(self, policy: SandboxPolicy) -> None:
+        self.policy = policy
+        self.violations: List[str] = []
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root not in self.policy.allowed_imports:
+                self.violations.append(f"import of module {alias.name!r} is not allowed")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        root = (node.module or "").split(".")[0]
+        if root not in self.policy.allowed_imports:
+            self.violations.append(f"import from module {node.module!r} is not allowed")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        if name in self.policy.forbidden_calls:
+            self.violations.append(f"call to {name!r} is not allowed")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in self.policy.forbidden_attributes:
+            self.violations.append(f"access to attribute {node.attr!r} is not allowed")
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id in ("__builtins__",):
+            self.violations.append("access to __builtins__ is not allowed")
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.violations.append("the 'global' statement is not allowed")
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:  # noqa: D102
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        # `with open(...)` is already caught by the call check; other context
+        # managers over exposed objects are fine.
+        self.generic_visit(node)
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def validate_source(source: str, policy: Optional[SandboxPolicy] = None) -> None:
+    """Validate *source* against *policy*, raising :class:`PolicyViolation`.
+
+    A :class:`SyntaxError` raised here propagates to the caller unchanged so
+    the benchmark's error classifier can distinguish "syntax error" from
+    "policy violation".
+    """
+    policy = policy or SandboxPolicy()
+    lines = source.splitlines()
+    if len(lines) > policy.max_source_lines:
+        raise PolicyViolation(
+            f"generated code has {len(lines)} lines; the policy allows "
+            f"{policy.max_source_lines}")
+    tree = ast.parse(source)
+    visitor = _PolicyVisitor(policy)
+    visitor.visit(tree)
+    if visitor.violations:
+        raise PolicyViolation("; ".join(visitor.violations))

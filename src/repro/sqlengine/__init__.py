@@ -1,0 +1,40 @@
+"""An in-memory SQL engine.
+
+The paper's third code-generation backend represents the network as two
+relational tables (``nodes`` and ``edges``) and lets the LLM generate SQL.
+This package provides a self-contained SQL engine so that the generated SQL
+genuinely executes: a lexer, a recursive-descent parser producing a small AST,
+an expression evaluator, and an executor supporting the statement subset the
+benchmark queries need:
+
+* ``SELECT`` with projection, expressions, aggregates (COUNT/SUM/AVG/MIN/MAX),
+  ``DISTINCT``, ``JOIN ... ON``, ``WHERE``, ``GROUP BY``, ``HAVING``,
+  ``ORDER BY ... ASC|DESC``, ``LIMIT``;
+* ``INSERT INTO ... VALUES``;
+* ``UPDATE ... SET ... WHERE``;
+* ``DELETE FROM ... WHERE``.
+
+The engine is deliberately strict: unknown columns, unknown tables, and type
+errors raise :class:`SqlError`, which the benchmark's error classifier maps to
+the paper's error taxonomy.
+"""
+
+from repro.sqlengine.database import Database, Table, ResultSet
+from repro.sqlengine.errors import SqlError, SqlSyntaxError, SqlExecutionError
+from repro.sqlengine.executor import execute_sql
+from repro.sqlengine.lexer import tokenize, Token, TokenType
+from repro.sqlengine.parser import parse_statement
+
+__all__ = [
+    "Database",
+    "Table",
+    "ResultSet",
+    "SqlError",
+    "SqlSyntaxError",
+    "SqlExecutionError",
+    "execute_sql",
+    "tokenize",
+    "Token",
+    "TokenType",
+    "parse_statement",
+]

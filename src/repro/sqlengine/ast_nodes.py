@@ -1,0 +1,154 @@
+"""AST node definitions for the in-memory SQL engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+class Expression:
+    """Base class for all expression nodes."""
+
+
+@dataclass
+class Literal(Expression):
+    value: Any
+
+
+@dataclass
+class ColumnRef(Expression):
+    name: str
+    table: Optional[str] = None
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass
+class Star(Expression):
+    table: Optional[str] = None
+
+
+@dataclass
+class UnaryOp(Expression):
+    operator: str  # NOT, -, +
+    operand: Expression
+
+
+@dataclass
+class BinaryOp(Expression):
+    operator: str  # =, <>, <, <=, >, >=, +, -, *, /, %, AND, OR, LIKE, ||
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class InList(Expression):
+    operand: Expression
+    options: List[Expression]
+    negated: bool = False
+
+
+@dataclass
+class IsNull(Expression):
+    operand: Expression
+    negated: bool = False
+
+
+@dataclass
+class Between(Expression):
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclass
+class FunctionCall(Expression):
+    """Aggregate or scalar function call (COUNT, SUM, AVG, MIN, MAX, ...)."""
+
+    name: str
+    arguments: List[Expression]
+    distinct: bool = False
+    is_star: bool = False  # COUNT(*)
+
+
+@dataclass
+class CaseExpression(Expression):
+    """``CASE WHEN cond THEN value ... ELSE value END``."""
+
+    branches: List[tuple]  # list of (condition, value) expression pairs
+    default: Optional[Expression] = None
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+class Statement:
+    """Base class for all statement nodes."""
+
+
+@dataclass
+class SelectItem:
+    expression: Expression
+    alias: Optional[str] = None
+
+
+@dataclass
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def effective_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class JoinClause:
+    table: TableRef
+    condition: Expression
+    join_type: str = "INNER"  # INNER or LEFT
+
+
+@dataclass
+class OrderItem:
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass
+class SelectStatement(Statement):
+    items: List[SelectItem]
+    table: Optional[TableRef] = None
+    joins: List[JoinClause] = field(default_factory=list)
+    where: Optional[Expression] = None
+    group_by: List[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass
+class InsertStatement(Statement):
+    table: str
+    columns: List[str]
+    rows: List[List[Expression]]
+
+
+@dataclass
+class UpdateStatement(Statement):
+    table: str
+    assignments: List[tuple]  # (column_name, expression)
+    where: Optional[Expression] = None
+
+
+@dataclass
+class DeleteStatement(Statement):
+    table: str
+    where: Optional[Expression] = None

@@ -1,0 +1,14 @@
+"""Error hierarchy of the in-memory SQL engine."""
+
+
+class SqlError(Exception):
+    """Base class for every error raised by the SQL engine."""
+
+
+class SqlSyntaxError(SqlError):
+    """Raised when a statement cannot be tokenized or parsed."""
+
+
+class SqlExecutionError(SqlError):
+    """Raised when a syntactically valid statement fails during execution
+    (unknown table or column, type mismatch, aggregate misuse, ...)."""

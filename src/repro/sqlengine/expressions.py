@@ -1,0 +1,254 @@
+"""Expression evaluation for the in-memory SQL engine."""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.sqlengine.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseExpression,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.sqlengine.errors import SqlExecutionError
+
+Row = Dict[str, Any]
+
+
+def resolve_column(row: Row, ref: ColumnRef) -> Any:
+    """Look up a column reference in a (possibly table-qualified) row."""
+    if ref.table is not None:
+        qualified = f"{ref.table}.{ref.name}"
+        if qualified in row:
+            return row[qualified]
+        raise SqlExecutionError(f"unknown column {qualified!r}")
+    if ref.name in row:
+        return row[ref.name]
+    # fall back: a single unambiguous qualified match
+    matches = [key for key in row if key.endswith(f".{ref.name}")]
+    if len(matches) == 1:
+        return row[matches[0]]
+    if len(matches) > 1:
+        raise SqlExecutionError(f"ambiguous column {ref.name!r}: {matches}")
+    raise SqlExecutionError(f"unknown column {ref.name!r}; row has {sorted(row)}")
+
+
+def _like_to_regex(pattern: str) -> str:
+    pieces = []
+    for char in pattern:
+        if char == "%":
+            pieces.append(".*")
+        elif char == "_":
+            pieces.append(".")
+        else:
+            pieces.append(re.escape(char))
+    return "^" + "".join(pieces) + "$"
+
+
+def _numeric(value: Any, context: str) -> float:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return value
+    raise SqlExecutionError(f"{context} requires a numeric value, got {value!r}")
+
+
+def evaluate(expression: Expression, row: Row) -> Any:
+    """Evaluate a scalar expression against one row."""
+    if isinstance(expression, Literal):
+        return expression.value
+    if isinstance(expression, ColumnRef):
+        return resolve_column(row, expression)
+    if isinstance(expression, Star):
+        raise SqlExecutionError("'*' is only valid in SELECT lists and COUNT(*)")
+    if isinstance(expression, UnaryOp):
+        operand = evaluate(expression.operand, row)
+        if expression.operator == "NOT":
+            return not bool(operand)
+        if expression.operator == "-":
+            return -_numeric(operand, "unary minus")
+        if expression.operator == "+":
+            return _numeric(operand, "unary plus")
+        raise SqlExecutionError(f"unknown unary operator {expression.operator!r}")
+    if isinstance(expression, BinaryOp):
+        return _evaluate_binary(expression, row)
+    if isinstance(expression, InList):
+        value = evaluate(expression.operand, row)
+        options = [evaluate(option, row) for option in expression.options]
+        result = value in options
+        return not result if expression.negated else result
+    if isinstance(expression, IsNull):
+        value = evaluate(expression.operand, row)
+        result = value is None
+        return not result if expression.negated else result
+    if isinstance(expression, Between):
+        value = evaluate(expression.operand, row)
+        low = evaluate(expression.low, row)
+        high = evaluate(expression.high, row)
+        result = low <= value <= high
+        return not result if expression.negated else result
+    if isinstance(expression, CaseExpression):
+        for condition, value in expression.branches:
+            if bool(evaluate(condition, row)):
+                return evaluate(value, row)
+        return evaluate(expression.default, row) if expression.default is not None else None
+    if isinstance(expression, FunctionCall):
+        raise SqlExecutionError(
+            f"aggregate function {expression.name} used outside of an aggregation context"
+        )
+    raise SqlExecutionError(f"cannot evaluate expression node {type(expression).__name__}")
+
+
+def _evaluate_binary(node: BinaryOp, row: Row) -> Any:
+    operator = node.operator
+    if operator == "AND":
+        return bool(evaluate(node.left, row)) and bool(evaluate(node.right, row))
+    if operator == "OR":
+        return bool(evaluate(node.left, row)) or bool(evaluate(node.right, row))
+
+    left = evaluate(node.left, row)
+    right = evaluate(node.right, row)
+
+    if operator == "=":
+        return left == right
+    if operator == "<>":
+        return left != right
+    if operator in ("<", "<=", ">", ">="):
+        if left is None or right is None:
+            return False
+        try:
+            if operator == "<":
+                return left < right
+            if operator == "<=":
+                return left <= right
+            if operator == ">":
+                return left > right
+            return left >= right
+        except TypeError as exc:
+            raise SqlExecutionError(f"cannot compare {left!r} and {right!r}") from exc
+    if operator == "LIKE":
+        if left is None or right is None:
+            return False
+        return re.match(_like_to_regex(str(right)), str(left)) is not None
+    if operator == "||":
+        return f"{'' if left is None else left}{'' if right is None else right}"
+    if operator in ("+", "-", "*", "/", "%"):
+        left_num = _numeric(left, f"operator {operator}")
+        right_num = _numeric(right, f"operator {operator}")
+        if operator == "+":
+            return left_num + right_num
+        if operator == "-":
+            return left_num - right_num
+        if operator == "*":
+            return left_num * right_num
+        if operator == "/":
+            if right_num == 0:
+                raise SqlExecutionError("division by zero")
+            return left_num / right_num
+        if right_num == 0:
+            raise SqlExecutionError("modulo by zero")
+        return left_num % right_num
+    raise SqlExecutionError(f"unknown binary operator {operator!r}")
+
+
+# ---------------------------------------------------------------------------
+# aggregation support
+# ---------------------------------------------------------------------------
+def contains_aggregate(expression: Expression) -> bool:
+    """True when the expression tree contains an aggregate function call."""
+    if isinstance(expression, FunctionCall):
+        return True
+    if isinstance(expression, UnaryOp):
+        return contains_aggregate(expression.operand)
+    if isinstance(expression, BinaryOp):
+        return contains_aggregate(expression.left) or contains_aggregate(expression.right)
+    if isinstance(expression, InList):
+        return contains_aggregate(expression.operand) or any(
+            contains_aggregate(option) for option in expression.options)
+    if isinstance(expression, (IsNull,)):
+        return contains_aggregate(expression.operand)
+    if isinstance(expression, Between):
+        return any(contains_aggregate(e) for e in (expression.operand, expression.low,
+                                                   expression.high))
+    if isinstance(expression, CaseExpression):
+        parts = [expr for branch in expression.branches for expr in branch]
+        if expression.default is not None:
+            parts.append(expression.default)
+        return any(contains_aggregate(part) for part in parts)
+    return False
+
+
+def evaluate_aggregate(expression: Expression, rows: List[Row]) -> Any:
+    """Evaluate an expression in aggregate context over a group of rows."""
+    if isinstance(expression, FunctionCall):
+        return _apply_aggregate(expression, rows)
+    if isinstance(expression, Literal):
+        return expression.value
+    if isinstance(expression, ColumnRef):
+        # Per-group constant column (a GROUP BY key): take it from the first row.
+        if not rows:
+            return None
+        return resolve_column(rows[0], expression)
+    if isinstance(expression, UnaryOp):
+        inner = evaluate_aggregate(expression.operand, rows)
+        if expression.operator == "NOT":
+            return not bool(inner)
+        if expression.operator == "-":
+            return -_numeric(inner, "unary minus")
+        return _numeric(inner, "unary plus")
+    if isinstance(expression, BinaryOp):
+        substitute = BinaryOp(expression.operator,
+                              Literal(evaluate_aggregate(expression.left, rows)),
+                              Literal(evaluate_aggregate(expression.right, rows)))
+        return _evaluate_binary(substitute, {})
+    if isinstance(expression, CaseExpression):
+        for condition, value in expression.branches:
+            if bool(evaluate_aggregate(condition, rows)):
+                return evaluate_aggregate(value, rows)
+        if expression.default is not None:
+            return evaluate_aggregate(expression.default, rows)
+        return None
+    raise SqlExecutionError(
+        f"expression {type(expression).__name__} is not valid in aggregate context")
+
+
+def _apply_aggregate(call: FunctionCall, rows: List[Row]) -> Any:
+    name = call.name
+    if name == "COUNT" and call.is_star:
+        return len(rows)
+    if not call.arguments:
+        if name == "COUNT":
+            return len(rows)
+        raise SqlExecutionError(f"{name} requires an argument")
+    if len(call.arguments) != 1:
+        raise SqlExecutionError(f"{name} takes exactly one argument")
+    values = [evaluate(call.arguments[0], row) for row in rows]
+    values = [v for v in values if v is not None]
+    if call.distinct:
+        deduped: List[Any] = []
+        for value in values:
+            if value not in deduped:
+                deduped.append(value)
+        values = deduped
+    if name == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if name == "SUM":
+        return sum(_numeric(v, "SUM") for v in values)
+    if name == "AVG":
+        numeric = [_numeric(v, "AVG") for v in values]
+        return sum(numeric) / len(numeric)
+    if name == "MIN":
+        return min(values)
+    if name == "MAX":
+        return max(values)
+    raise SqlExecutionError(f"unknown aggregate function {name!r}")

@@ -1,0 +1,131 @@
+"""Tokenizer for the in-memory SQL engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.sqlengine.errors import SqlSyntaxError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    STAR = "star"
+    END = "end"
+
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "ASC", "DESC", "AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE",
+    "JOIN", "INNER", "LEFT", "ON", "DISTINCT", "INSERT", "INTO", "VALUES",
+    "UPDATE", "SET", "DELETE", "COUNT", "SUM", "AVG", "MIN", "MAX",
+    "TRUE", "FALSE", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END",
+}
+
+_TWO_CHAR_OPERATORS = ("<=", ">=", "<>", "!=", "||")
+_ONE_CHAR_OPERATORS = "=<>+-/%"
+
+
+@dataclass
+class Token:
+    """A single lexical token."""
+
+    type: TokenType
+    value: Any
+    position: int
+
+    def matches_keyword(self, *keywords: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in keywords
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.value}, {self.value!r})"
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize *sql* into a list of :class:`Token`, ending with an END token."""
+    tokens: List[Token] = []
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            newline = sql.find("\n", i)
+            i = length if newline < 0 else newline + 1
+            continue
+        if ch == "*":
+            tokens.append(Token(TokenType.STAR, "*", i))
+            i += 1
+            continue
+        if ch in "(),.;":
+            tokens.append(Token(TokenType.PUNCTUATION, ch, i))
+            i += 1
+            continue
+        if sql[i:i + 2] in _TWO_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, sql[i:i + 2], i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, ch, i))
+            i += 1
+            continue
+        if ch in ("'", '"'):
+            end = i + 1
+            buffer = []
+            while end < length:
+                if sql[end] == ch:
+                    # doubled quote is an escaped quote
+                    if end + 1 < length and sql[end + 1] == ch:
+                        buffer.append(ch)
+                        end += 2
+                        continue
+                    break
+                buffer.append(sql[end])
+                end += 1
+            if end >= length:
+                raise SqlSyntaxError(f"unterminated string literal starting at {i}")
+            tokens.append(Token(TokenType.STRING, "".join(buffer), i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and sql[i + 1].isdigit()):
+            end = i
+            seen_dot = False
+            while end < length and (sql[end].isdigit() or (sql[end] == "." and not seen_dot)):
+                if sql[end] == ".":
+                    seen_dot = True
+                end += 1
+            literal = sql[i:end]
+            value = float(literal) if seen_dot else int(literal)
+            tokens.append(Token(TokenType.NUMBER, value, i))
+            i = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = i
+            while end < length and (sql[end].isalnum() or sql[end] in "_$"):
+                end += 1
+            word = sql[i:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, i))
+            i = end
+            continue
+        if ch == "`":
+            end = sql.find("`", i + 1)
+            if end < 0:
+                raise SqlSyntaxError(f"unterminated quoted identifier at {i}")
+            tokens.append(Token(TokenType.IDENTIFIER, sql[i + 1:end], i))
+            i = end + 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.END, None, length))
+    return tokens

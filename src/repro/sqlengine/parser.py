@@ -1,0 +1,414 @@
+"""Recursive-descent parser for the in-memory SQL engine."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sqlengine.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseExpression,
+    ColumnRef,
+    DeleteStatement,
+    Expression,
+    FunctionCall,
+    InList,
+    InsertStatement,
+    IsNull,
+    JoinClause,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    Statement,
+    TableRef,
+    UnaryOp,
+    UpdateStatement,
+)
+from repro.sqlengine.errors import SqlSyntaxError
+from repro.sqlengine.lexer import Token, TokenType, tokenize
+
+_AGGREGATE_KEYWORDS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+class _Parser:
+    """Stateful cursor over the token stream."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- cursor helpers --------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type is not TokenType.END:
+            self._index += 1
+        return token
+
+    def expect_keyword(self, *keywords: str) -> Token:
+        token = self.peek()
+        if not token.matches_keyword(*keywords):
+            raise SqlSyntaxError(f"expected {' or '.join(keywords)}, got {token.value!r}")
+        return self.advance()
+
+    def accept_keyword(self, *keywords: str) -> bool:
+        if self.peek().matches_keyword(*keywords):
+            self.advance()
+            return True
+        return False
+
+    def expect_punctuation(self, symbol: str) -> Token:
+        token = self.peek()
+        if token.type is not TokenType.PUNCTUATION or token.value != symbol:
+            raise SqlSyntaxError(f"expected {symbol!r}, got {token.value!r}")
+        return self.advance()
+
+    def accept_punctuation(self, symbol: str) -> bool:
+        token = self.peek()
+        if token.type is TokenType.PUNCTUATION and token.value == symbol:
+            self.advance()
+            return True
+        return False
+
+    def expect_identifier(self) -> str:
+        token = self.peek()
+        if token.type is not TokenType.IDENTIFIER:
+            raise SqlSyntaxError(f"expected identifier, got {token.value!r}")
+        self.advance()
+        return token.value
+
+    # -- statements -------------------------------------------------------
+    def parse_statement(self) -> Statement:
+        token = self.peek()
+        if token.matches_keyword("SELECT"):
+            statement = self.parse_select()
+        elif token.matches_keyword("INSERT"):
+            statement = self.parse_insert()
+        elif token.matches_keyword("UPDATE"):
+            statement = self.parse_update()
+        elif token.matches_keyword("DELETE"):
+            statement = self.parse_delete()
+        else:
+            raise SqlSyntaxError(f"unsupported statement start: {token.value!r}")
+        self.accept_punctuation(";")
+        if self.peek().type is not TokenType.END:
+            raise SqlSyntaxError(f"unexpected trailing token {self.peek().value!r}")
+        return statement
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        items = [self.parse_select_item()]
+        while self.accept_punctuation(","):
+            items.append(self.parse_select_item())
+
+        table: Optional[TableRef] = None
+        joins: List[JoinClause] = []
+        where = None
+        group_by: List[Expression] = []
+        having = None
+        order_by: List[OrderItem] = []
+        limit = None
+
+        if self.accept_keyword("FROM"):
+            table = self.parse_table_ref()
+            while True:
+                join_type = None
+                if self.peek().matches_keyword("JOIN"):
+                    join_type = "INNER"
+                    self.advance()
+                elif self.peek().matches_keyword("INNER") and self.peek(1).matches_keyword("JOIN"):
+                    join_type = "INNER"
+                    self.advance()
+                    self.advance()
+                elif self.peek().matches_keyword("LEFT"):
+                    join_type = "LEFT"
+                    self.advance()
+                    self.expect_keyword("JOIN")
+                if join_type is None:
+                    break
+                join_table = self.parse_table_ref()
+                self.expect_keyword("ON")
+                condition = self.parse_expression()
+                joins.append(JoinClause(table=join_table, condition=condition,
+                                        join_type=join_type))
+
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expression()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expression())
+            while self.accept_punctuation(","):
+                group_by.append(self.parse_expression())
+        if self.accept_keyword("HAVING"):
+            having = self.parse_expression()
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.parse_order_item())
+            while self.accept_punctuation(","):
+                order_by.append(self.parse_order_item())
+        if self.accept_keyword("LIMIT"):
+            token = self.peek()
+            if token.type is not TokenType.NUMBER:
+                raise SqlSyntaxError("LIMIT expects a numeric literal")
+            self.advance()
+            limit = int(token.value)
+
+        return SelectStatement(items=items, table=table, joins=joins, where=where,
+                               group_by=group_by, having=having, order_by=order_by,
+                               limit=limit, distinct=distinct)
+
+    def parse_select_item(self) -> SelectItem:
+        expression = self.parse_expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier()
+        elif self.peek().type is TokenType.IDENTIFIER:
+            alias = self.expect_identifier()
+        return SelectItem(expression=expression, alias=alias)
+
+    def parse_order_item(self) -> OrderItem:
+        expression = self.parse_expression()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        return OrderItem(expression=expression, ascending=ascending)
+
+    def parse_table_ref(self) -> TableRef:
+        name = self.expect_identifier()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier()
+        elif self.peek().type is TokenType.IDENTIFIER:
+            alias = self.expect_identifier()
+        return TableRef(name=name, alias=alias)
+
+    def parse_insert(self) -> InsertStatement:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_identifier()
+        columns: List[str] = []
+        if self.accept_punctuation("("):
+            columns.append(self.expect_identifier())
+            while self.accept_punctuation(","):
+                columns.append(self.expect_identifier())
+            self.expect_punctuation(")")
+        self.expect_keyword("VALUES")
+        rows: List[List[Expression]] = [self.parse_value_tuple()]
+        while self.accept_punctuation(","):
+            rows.append(self.parse_value_tuple())
+        return InsertStatement(table=table, columns=columns, rows=rows)
+
+    def parse_value_tuple(self) -> List[Expression]:
+        self.expect_punctuation("(")
+        values = [self.parse_expression()]
+        while self.accept_punctuation(","):
+            values.append(self.parse_expression())
+        self.expect_punctuation(")")
+        return values
+
+    def parse_update(self) -> UpdateStatement:
+        self.expect_keyword("UPDATE")
+        table = self.expect_identifier()
+        self.expect_keyword("SET")
+        assignments = [self.parse_assignment()]
+        while self.accept_punctuation(","):
+            assignments.append(self.parse_assignment())
+        where = self.parse_expression() if self.accept_keyword("WHERE") else None
+        return UpdateStatement(table=table, assignments=assignments, where=where)
+
+    def parse_assignment(self) -> tuple:
+        column = self.expect_identifier()
+        token = self.peek()
+        if token.type is not TokenType.OPERATOR or token.value != "=":
+            raise SqlSyntaxError(f"expected '=' in assignment, got {token.value!r}")
+        self.advance()
+        return (column, self.parse_expression())
+
+    def parse_delete(self) -> DeleteStatement:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_identifier()
+        where = self.parse_expression() if self.accept_keyword("WHERE") else None
+        return DeleteStatement(table=table, where=where)
+
+    # -- expressions (precedence climbing) --------------------------------
+    def parse_expression(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        left = self.parse_and()
+        while self.peek().matches_keyword("OR"):
+            self.advance()
+            left = BinaryOp("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expression:
+        left = self.parse_not()
+        while self.peek().matches_keyword("AND"):
+            self.advance()
+            left = BinaryOp("AND", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expression:
+        if self.peek().matches_keyword("NOT"):
+            self.advance()
+            return UnaryOp("NOT", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expression:
+        left = self.parse_additive()
+        token = self.peek()
+        if token.type is TokenType.OPERATOR and token.value in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            self.advance()
+            operator = "<>" if token.value == "!=" else token.value
+            return BinaryOp(operator, left, self.parse_additive())
+        if token.matches_keyword("LIKE"):
+            self.advance()
+            return BinaryOp("LIKE", left, self.parse_additive())
+        negated = False
+        if token.matches_keyword("NOT") and self.peek(1).matches_keyword("IN", "LIKE", "BETWEEN"):
+            self.advance()
+            negated = True
+            token = self.peek()
+        if token.matches_keyword("IN"):
+            self.advance()
+            self.expect_punctuation("(")
+            options = [self.parse_expression()]
+            while self.accept_punctuation(","):
+                options.append(self.parse_expression())
+            self.expect_punctuation(")")
+            return InList(operand=left, options=options, negated=negated)
+        if token.matches_keyword("LIKE") and negated:
+            self.advance()
+            return UnaryOp("NOT", BinaryOp("LIKE", left, self.parse_additive()))
+        if token.matches_keyword("BETWEEN"):
+            self.advance()
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            return Between(operand=left, low=low, high=high, negated=negated)
+        if token.matches_keyword("IS"):
+            self.advance()
+            is_negated = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return IsNull(operand=left, negated=is_negated)
+        return left
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-", "||"):
+                self.advance()
+                left = BinaryOp(token.value, left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Expression:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.type is TokenType.STAR:
+                self.advance()
+                left = BinaryOp("*", left, self.parse_unary())
+            elif token.type is TokenType.OPERATOR and token.value in ("/", "%"):
+                self.advance()
+                left = BinaryOp(token.value, left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> Expression:
+        token = self.peek()
+        if token.type is TokenType.OPERATOR and token.value in ("-", "+"):
+            self.advance()
+            return UnaryOp(token.value, self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        token = self.peek()
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return Literal(token.value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.matches_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if token.matches_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.matches_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.matches_keyword("CASE"):
+            return self.parse_case()
+        if token.type is TokenType.STAR:
+            self.advance()
+            return Star()
+        if token.type is TokenType.PUNCTUATION and token.value == "(":
+            self.advance()
+            inner = self.parse_expression()
+            self.expect_punctuation(")")
+            return inner
+        if token.matches_keyword(*_AGGREGATE_KEYWORDS):
+            self.advance()
+            return self.parse_function_call(token.value)
+        if token.type is TokenType.IDENTIFIER:
+            self.advance()
+            name = token.value
+            if self.peek().type is TokenType.PUNCTUATION and self.peek().value == "(":
+                return self.parse_function_call(name)
+            if self.accept_punctuation("."):
+                following = self.peek()
+                if following.type is TokenType.STAR:
+                    self.advance()
+                    return Star(table=name)
+                column = self.expect_identifier()
+                return ColumnRef(name=column, table=name)
+            return ColumnRef(name=name)
+        raise SqlSyntaxError(f"unexpected token {token.value!r} in expression")
+
+    def parse_function_call(self, name: str) -> FunctionCall:
+        self.expect_punctuation("(")
+        distinct = self.accept_keyword("DISTINCT")
+        if self.peek().type is TokenType.STAR:
+            self.advance()
+            self.expect_punctuation(")")
+            return FunctionCall(name=name.upper(), arguments=[], distinct=distinct, is_star=True)
+        arguments: List[Expression] = []
+        if not (self.peek().type is TokenType.PUNCTUATION and self.peek().value == ")"):
+            arguments.append(self.parse_expression())
+            while self.accept_punctuation(","):
+                arguments.append(self.parse_expression())
+        self.expect_punctuation(")")
+        return FunctionCall(name=name.upper(), arguments=arguments, distinct=distinct)
+
+    def parse_case(self) -> CaseExpression:
+        self.expect_keyword("CASE")
+        branches = []
+        while self.accept_keyword("WHEN"):
+            condition = self.parse_expression()
+            self.expect_keyword("THEN")
+            value = self.parse_expression()
+            branches.append((condition, value))
+        default = None
+        if self.accept_keyword("ELSE"):
+            default = self.parse_expression()
+        self.expect_keyword("END")
+        if not branches:
+            raise SqlSyntaxError("CASE expression requires at least one WHEN branch")
+        return CaseExpression(branches=branches, default=default)
+
+
+def parse_statement(sql: str) -> Statement:
+    """Parse a single SQL statement into its AST."""
+    return _Parser(tokenize(sql)).parse_statement()

@@ -1,0 +1,125 @@
+"""The code-synthesis engine: intent -> backend-specific program."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.graph import PropertyGraph, graph_to_dict
+from repro.synthesis import frames_emitter, networkx_emitter, sql_emitter
+from repro.synthesis.intents import Intent, IntentParseError, parse_query
+from repro.synthesis.reference import (
+    ReferenceOutcome,
+    evaluate_reference,
+    supported_reference_intents,
+)
+from repro.utils.validation import ValidationError, require_in
+
+
+class UnsupportedQueryError(ValidationError):
+    """Raised when no code can be produced for a (query, backend) pair."""
+
+
+#: backends the engine can emit code for (strawman is answered, not coded)
+CODE_BACKENDS = ("networkx", "pandas", "sql")
+
+
+@dataclass
+class GeneratedProgram:
+    """One synthesized program plus the language it is written in."""
+
+    code: str
+    language: str          # "python" or "sql"
+    backend: str
+    intent: Intent
+
+    def as_markdown(self) -> str:
+        """Render as the fenced block a real LLM response would contain."""
+        return f"```{self.language}\n{self.code}\n```"
+
+
+class CodeSynthesisEngine:
+    """Generate correct code (or direct answers) for supported intents.
+
+    This engine is what a simulated LLM uses when the calibration table says
+    the model answers correctly.  It is also usable standalone — e.g. the CLI
+    and examples call it directly for a no-LLM, rule-based experience.
+    """
+
+    _EMITTERS = {
+        "networkx": networkx_emitter,
+        "pandas": frames_emitter,
+        "sql": sql_emitter,
+    }
+
+    # ------------------------------------------------------------------
+    def resolve_intent(self, query: Union[str, Intent]) -> Intent:
+        """Accept either a pre-parsed intent or free-form query text."""
+        if isinstance(query, Intent):
+            return query
+        return parse_query(query)
+
+    def supports(self, query: Union[str, Intent], backend: str) -> bool:
+        """Whether correct code can be produced for this query and backend."""
+        require_in(backend, CODE_BACKENDS + ("strawman",), "backend")
+        try:
+            intent = self.resolve_intent(query)
+        except IntentParseError:
+            return False
+        if backend == "strawman":
+            return intent.name in supported_reference_intents()
+        emitter = self._EMITTERS[backend]
+        return intent.name in emitter.TEMPLATES
+
+    def supported_intents(self, backend: str) -> List[str]:
+        """All intent names supported for one backend."""
+        require_in(backend, CODE_BACKENDS, "backend")
+        return self._EMITTERS[backend].supported_intents()
+
+    # ------------------------------------------------------------------
+    def generate(self, query: Union[str, Intent], backend: str) -> GeneratedProgram:
+        """Produce a correct program for *query* in *backend*.
+
+        Raises :class:`UnsupportedQueryError` when the intent is unknown or
+        the backend cannot express it.
+        """
+        require_in(backend, CODE_BACKENDS, "backend")
+        try:
+            intent = self.resolve_intent(query)
+        except IntentParseError as exc:
+            raise UnsupportedQueryError(str(exc)) from exc
+        emitter = self._EMITTERS[backend]
+        try:
+            code = emitter.emit(intent)
+        except KeyError as exc:
+            raise UnsupportedQueryError(
+                f"backend {backend!r} cannot express intent {intent.name!r}") from exc
+        language = "sql" if backend == "sql" else "python"
+        return GeneratedProgram(code=code, language=language, backend=backend, intent=intent)
+
+    # ------------------------------------------------------------------
+    def answer_directly(self, query: Union[str, Intent], graph: PropertyGraph) -> str:
+        """The strawman path: answer from the data instead of emitting code.
+
+        Returns a JSON document containing either the answer value or the
+        updated graph, which is what the benchmark's evaluator parses when
+        scoring the strawman baseline.
+        """
+        try:
+            intent = self.resolve_intent(query)
+        except IntentParseError as exc:
+            raise UnsupportedQueryError(str(exc)) from exc
+        outcome: ReferenceOutcome = evaluate_reference(graph, intent)
+        payload: Dict[str, object] = {"kind": outcome.kind}
+        if outcome.kind in ("value", "both"):
+            payload["value"] = outcome.value
+        if outcome.kind in ("graph", "both") and outcome.graph is not None:
+            payload["graph"] = graph_to_dict(outcome.graph)
+        return json.dumps(payload, default=str)
+
+    def reference_outcome(self, query: Union[str, Intent],
+                          graph: PropertyGraph) -> ReferenceOutcome:
+        """Golden outcome of *query* on *graph* (used by the benchmark)."""
+        intent = self.resolve_intent(query)
+        return evaluate_reference(graph, intent)

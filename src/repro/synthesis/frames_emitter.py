@@ -1,0 +1,313 @@
+"""Code emitter for the dataframe (pandas-style) backend.
+
+Each template renders Python that operates on ``nodes_df`` and ``edges_df``
+(see :mod:`repro.frames`), reassigns those variables for manipulation
+intents, and leaves analysis answers in ``result``.
+
+The coverage is intentionally narrower than the NetworkX emitter: graph
+traversal tasks (paths, components, multi-level containment walks) are
+awkward to express over flat node/edge tables, which is precisely why the
+paper measures lower accuracy for the pandas backend.  Unsupported intents
+raise ``KeyError`` and the simulated LLM falls back to faulty code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.synthesis.intents import Intent
+
+
+def _emit_count_nodes(intent: Intent) -> str:
+    return "result = len(nodes_df)\n"
+
+
+def _emit_count_edges(intent: Intent) -> str:
+    return "result = len(edges_df)\n"
+
+
+def _emit_total_bytes(intent: Intent) -> str:
+    return "result = edges_df['bytes'].sum()\n"
+
+
+def _emit_label_nodes_by_prefix(intent: Intent) -> str:
+    prefix = intent.param("prefix")
+    key = intent.param("key", "app")
+    value = intent.param("value", "production")
+    return (
+        f"mask = nodes_df['address'].str.startswith({prefix + '.'!r})\n"
+        f"labels = [{value!r} if flag else None for flag in mask.tolist()]\n"
+        f"nodes_df = nodes_df.assign(**{{{key!r}: labels}})\n"
+    )
+
+
+def _emit_list_nodes_by_prefix(intent: Intent) -> str:
+    prefix = intent.param("prefix")
+    return (
+        f"matching = nodes_df[nodes_df['address'].str.startswith({prefix + '.'!r})]\n"
+        "result = sorted(matching['address'].tolist())\n"
+    )
+
+
+def _emit_max_bytes_edge(intent: Intent) -> str:
+    return (
+        "top = edges_df.sort_values('bytes', ascending=False).head(1)\n"
+        "result = []\n"
+        "if len(top):\n"
+        "    row = top.row(0)\n"
+        "    address_of = dict(zip(nodes_df['id'].tolist(), nodes_df['address'].tolist()))\n"
+        "    result = [address_of[row['source']], address_of[row['target']]]\n"
+    )
+
+
+def _emit_count_nodes_of_type(intent: Intent) -> str:
+    type_name = intent.param("type_name")
+    return f"result = len(nodes_df[nodes_df['type'] == {type_name!r}])\n"
+
+
+def _emit_list_isolated_nodes(intent: Intent) -> str:
+    return (
+        "active = set(edges_df['source'].tolist()) | set(edges_df['target'].tolist())\n"
+        "isolated = nodes_df[nodes_df['id'].isin(active) == False]\n"
+        "result = sorted(isolated['address'].tolist())\n"
+    )
+
+
+def _emit_color_by_prefix16(intent: Intent) -> str:
+    return (
+        "prefixes = sorted({'.'.join(address.split('.')[:2])\n"
+        "                   for address in nodes_df['address'].tolist()})\n"
+        "color_of = {prefix: 'color-' + str(index) for index, prefix in enumerate(prefixes)}\n"
+        "colors = ['color-0' if address is None else color_of['.'.join(address.split('.')[:2])]\n"
+        "          for address in nodes_df['address'].tolist()]\n"
+        "nodes_df = nodes_df.assign(color=colors)\n"
+    )
+
+
+def _emit_top_k_talkers(intent: Intent) -> str:
+    k = intent.param("k", 3)
+    return (
+        "per_source = edges_df.groupby('source')['bytes'].sum()\n"
+        "totals = dict(zip(per_source['source'].tolist(), per_source['bytes'].tolist()))\n"
+        "address_of = dict(zip(nodes_df['id'].tolist(), nodes_df['address'].tolist()))\n"
+        "ranked = sorted(nodes_df['id'].tolist(),\n"
+        "                key=lambda n: (-totals.get(n, 0), address_of[n]))\n"
+        f"result = [address_of[n] for n in ranked[:{k}]]\n"
+    )
+
+
+def _emit_peer_count_per_node(intent: Intent) -> str:
+    return (
+        "peers = {}\n"
+        "for _, row in edges_df.iterrows():\n"
+        "    peers.setdefault(row['source'], set()).add(row['target'])\n"
+        "    peers.setdefault(row['target'], set()).add(row['source'])\n"
+        "address_of = dict(zip(nodes_df['id'].tolist(), nodes_df['address'].tolist()))\n"
+        "result = {address_of[n]: len(peers.get(n, set())) for n in nodes_df['id'].tolist()}\n"
+    )
+
+
+def _emit_bytes_per_prefix16(intent: Intent) -> str:
+    return (
+        "address_of = dict(zip(nodes_df['id'].tolist(), nodes_df['address'].tolist()))\n"
+        "enriched = edges_df.assign(\n"
+        "    prefix=['.'.join(address_of[s].split('.')[:2]) for s in edges_df['source'].tolist()])\n"
+        "per_prefix = enriched.groupby('prefix')['bytes'].sum()\n"
+        "result = dict(zip(per_prefix['prefix'].tolist(), per_prefix['bytes'].tolist()))\n"
+    )
+
+
+def _emit_heavy_edges_above(intent: Intent) -> str:
+    threshold = intent.param("threshold", 500_000)
+    return (
+        f"heavy = edges_df[edges_df['bytes'] > {threshold}]\n"
+        "address_of = dict(zip(nodes_df['id'].tolist(), nodes_df['address'].tolist()))\n"
+        "result = sorted([address_of[row['source']], address_of[row['target']]]\n"
+        "                for _, row in heavy.iterrows())\n"
+    )
+
+
+def _emit_remove_light_edges(intent: Intent) -> str:
+    threshold = intent.param("threshold", 1000)
+    return f"edges_df = edges_df[edges_df['bytes'] >= {threshold}]\n"
+
+
+def _emit_avg_bytes_by_source_type(intent: Intent) -> str:
+    return (
+        "type_of = dict(zip(nodes_df['id'].tolist(), nodes_df['type'].tolist()))\n"
+        "enriched = edges_df.assign(source_type=[type_of[s] for s in edges_df['source'].tolist()])\n"
+        "per_type = enriched.groupby('source_type')['bytes'].mean()\n"
+        "result = dict(zip(per_type['source_type'].tolist(), per_type['bytes'].tolist()))\n"
+    )
+
+
+def _emit_reciprocal_pair_count(intent: Intent) -> str:
+    return (
+        "forward = set()\n"
+        "for _, row in edges_df.iterrows():\n"
+        "    forward.add((row['source'], row['target']))\n"
+        "pairs = set()\n"
+        "for source, target in forward:\n"
+        "    if source != target and (target, source) in forward:\n"
+        "        pairs.add(frozenset((source, target)))\n"
+        "result = len(pairs)\n"
+    )
+
+
+def _emit_cluster_nodes_by_total_bytes(intent: Intent) -> str:
+    clusters = intent.param("clusters", 5)
+    return (
+        "totals = {node: 0 for node in nodes_df['id'].tolist()}\n"
+        "for _, row in edges_df.iterrows():\n"
+        "    totals[row['source']] = totals.get(row['source'], 0) + row['bytes']\n"
+        "    totals[row['target']] = totals.get(row['target'], 0) + row['bytes']\n"
+        "address_of = dict(zip(nodes_df['id'].tolist(), nodes_df['address'].tolist()))\n"
+        "result = {}\n"
+        "if totals:\n"
+        "    low = min(totals.values())\n"
+        "    high = max(totals.values())\n"
+        "    span = (high - low) or 1.0\n"
+        "    for node, total in totals.items():\n"
+        f"        index = int((total - low) / span * {clusters})\n"
+        f"        result[address_of[node]] = min({clusters} - 1, index)\n"
+    )
+
+
+def _emit_remove_highest_degree_node(intent: Intent) -> str:
+    return (
+        "degree = {node: 0 for node in nodes_df['id'].tolist()}\n"
+        "for _, row in edges_df.iterrows():\n"
+        "    degree[row['source']] = degree.get(row['source'], 0) + 1\n"
+        "    degree[row['target']] = degree.get(row['target'], 0) + 1\n"
+        "ranked = sorted(nodes_df['id'].tolist(), key=lambda n: (-degree.get(n, 0), str(n)))\n"
+        "if ranked:\n"
+        "    victim = ranked[0]\n"
+        "    nodes_df = nodes_df[nodes_df['id'] != victim]\n"
+        "    edges_df = edges_df[(edges_df['source'] != victim) & (edges_df['target'] != victim)]\n"
+        "result = len(edges_df)\n"
+    )
+
+
+# ---------------------------------------------------------------------------
+# MALT intents
+# ---------------------------------------------------------------------------
+def _emit_list_ports_of_switch(intent: Intent) -> str:
+    switch = intent.param("switch")
+    return (
+        f"children = edges_df[(edges_df['source'] == {switch!r}) &\n"
+        "                     (edges_df['relationship'] == 'RK_CONTAINS')]\n"
+        "port_ids = set(nodes_df[nodes_df['type'] == 'EK_PORT']['id'].tolist())\n"
+        "result = sorted(target for target in children['target'].tolist() if target in port_ids)\n"
+    )
+
+
+def _emit_count_entities_of_type(intent: Intent) -> str:
+    entity_type = intent.param("entity_type")
+    return f"result = len(nodes_df[nodes_df['type'] == {entity_type!r}])\n"
+
+
+def _emit_switches_controlled_by(intent: Intent) -> str:
+    control_point = intent.param("control_point")
+    return (
+        f"controlled = edges_df[(edges_df['source'] == {control_point!r}) &\n"
+        "                       (edges_df['relationship'] == 'RK_CONTROLS')]\n"
+        "result = sorted(controlled['target'].tolist())\n"
+    )
+
+
+def _emit_top2_chassis_by_capacity(intent: Intent) -> str:
+    return (
+        "chassis = nodes_df[nodes_df['type'] == 'EK_CHASSIS']\n"
+        "ranked = sorted(chassis.to_records(), key=lambda row: (-row['capacity'], row['id']))\n"
+        "result = [row['id'] for row in ranked[:2]]\n"
+    )
+
+
+def _emit_port_count_per_chassis_in_rack(intent: Intent) -> str:
+    rack = intent.param("rack")
+    return (
+        "contains = edges_df[edges_df['relationship'] == 'RK_CONTAINS']\n"
+        "children_of = {}\n"
+        "for _, row in contains.iterrows():\n"
+        "    children_of.setdefault(row['source'], []).append(row['target'])\n"
+        "type_of = dict(zip(nodes_df['id'].tolist(), nodes_df['type'].tolist()))\n"
+        "result = {}\n"
+        f"for chassis in children_of.get({rack!r}, []):\n"
+        "    if type_of.get(chassis) != 'EK_CHASSIS':\n"
+        "        continue\n"
+        "    count = 0\n"
+        "    stack = list(children_of.get(chassis, []))\n"
+        "    while stack:\n"
+        "        current = stack.pop()\n"
+        "        if type_of.get(current) == 'EK_PORT':\n"
+        "            count += 1\n"
+        "        stack.extend(children_of.get(current, []))\n"
+        "    result[chassis] = count\n"
+    )
+
+
+def _emit_remove_switch_and_rebalance(intent: Intent) -> str:
+    switch = intent.param("switch")
+    return (
+        f"switch = {switch!r}\n"
+        "switch_rows = nodes_df[nodes_df['id'] == switch]\n"
+        "if len(switch_rows):\n"
+        "    capacity = switch_rows.row(0)['capacity']\n"
+        "    parents = edges_df[(edges_df['target'] == switch) &\n"
+        "                        (edges_df['relationship'] == 'RK_CONTAINS')]\n"
+        "    chassis = parents.row(0)['source'] if len(parents) else None\n"
+        "    nodes_df = nodes_df[nodes_df['id'] != switch]\n"
+        "    edges_df = edges_df[(edges_df['source'] != switch) & (edges_df['target'] != switch)]\n"
+        "    if chassis is not None:\n"
+        "        siblings_edges = edges_df[(edges_df['source'] == chassis) &\n"
+        "                                   (edges_df['relationship'] == 'RK_CONTAINS')]\n"
+        "        switch_ids = set(nodes_df[nodes_df['type'] == 'EK_PACKET_SWITCH']['id'].tolist())\n"
+        "        siblings = [t for t in siblings_edges['target'].tolist() if t in switch_ids]\n"
+        "        if siblings:\n"
+        "            share = capacity / len(siblings)\n"
+        "            updated = [value + share if node in siblings else value\n"
+        "                       for node, value in zip(nodes_df['id'].tolist(),\n"
+        "                                              nodes_df['capacity'].tolist())]\n"
+        "            nodes_df = nodes_df.assign(capacity=updated)\n"
+    )
+
+
+#: intent name -> template
+TEMPLATES: Dict[str, Callable[[Intent], str]] = {
+    "count_nodes": _emit_count_nodes,
+    "count_edges": _emit_count_edges,
+    "total_bytes": _emit_total_bytes,
+    "label_nodes_by_prefix": _emit_label_nodes_by_prefix,
+    "list_nodes_by_prefix": _emit_list_nodes_by_prefix,
+    "max_bytes_edge": _emit_max_bytes_edge,
+    "count_nodes_of_type": _emit_count_nodes_of_type,
+    "list_isolated_nodes": _emit_list_isolated_nodes,
+    "color_by_prefix16": _emit_color_by_prefix16,
+    "top_k_talkers": _emit_top_k_talkers,
+    "peer_count_per_node": _emit_peer_count_per_node,
+    "bytes_per_prefix16": _emit_bytes_per_prefix16,
+    "heavy_edges_above": _emit_heavy_edges_above,
+    "remove_light_edges": _emit_remove_light_edges,
+    "avg_bytes_by_source_type": _emit_avg_bytes_by_source_type,
+    "reciprocal_pair_count": _emit_reciprocal_pair_count,
+    "cluster_nodes_by_total_bytes": _emit_cluster_nodes_by_total_bytes,
+    "remove_highest_degree_node": _emit_remove_highest_degree_node,
+    "list_ports_of_switch": _emit_list_ports_of_switch,
+    "count_entities_of_type": _emit_count_entities_of_type,
+    "switches_controlled_by": _emit_switches_controlled_by,
+    "top2_chassis_by_capacity": _emit_top2_chassis_by_capacity,
+    "port_count_per_chassis_in_rack": _emit_port_count_per_chassis_in_rack,
+    "remove_switch_and_rebalance": _emit_remove_switch_and_rebalance,
+}
+
+
+def supported_intents() -> List[str]:
+    """Intent names this emitter can generate code for."""
+    return sorted(TEMPLATES)
+
+
+def emit(intent: Intent) -> str:
+    """Render dataframe-backend Python code for *intent*."""
+    if intent.name not in TEMPLATES:
+        raise KeyError(f"frames emitter does not support intent {intent.name!r}")
+    return TEMPLATES[intent.name](intent)

@@ -1,0 +1,432 @@
+"""Code emitter for the NetworkX backend.
+
+Each template renders Python that operates on ``G`` (a ``networkx.DiGraph``
+whose nodes/edges carry the application's attributes), mutates ``G`` in place
+for manipulation intents, and leaves analysis answers in ``result`` — exactly
+what the code-generation prompt instructs the LLM to do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.synthesis.intents import Intent
+
+
+def _emit_count_nodes(intent: Intent) -> str:
+    return "result = G.number_of_nodes()\n"
+
+
+def _emit_count_edges(intent: Intent) -> str:
+    return "result = G.number_of_edges()\n"
+
+
+def _emit_total_bytes(intent: Intent) -> str:
+    return "result = sum(data.get('bytes', 0) for _, _, data in G.edges(data=True))\n"
+
+
+def _emit_label_nodes_by_prefix(intent: Intent) -> str:
+    prefix = intent.param("prefix")
+    key = intent.param("key", "app")
+    value = intent.param("value", "production")
+    return (
+        f"prefix = {prefix!r}\n"
+        "for node, data in G.nodes(data=True):\n"
+        "    address = data.get('address', '')\n"
+        "    if address.startswith(prefix + '.') or address == prefix:\n"
+        f"        G.nodes[node][{key!r}] = {value!r}\n"
+    )
+
+
+def _emit_list_nodes_by_prefix(intent: Intent) -> str:
+    prefix = intent.param("prefix")
+    return (
+        f"prefix = {prefix!r}\n"
+        "result = sorted(\n"
+        "    data['address'] for _, data in G.nodes(data=True)\n"
+        "    if data.get('address', '').startswith(prefix + '.') or data.get('address') == prefix\n"
+        ")\n"
+    )
+
+
+def _emit_max_bytes_edge(intent: Intent) -> str:
+    return (
+        "best = None\n"
+        "for u, v, data in G.edges(data=True):\n"
+        "    key = (data.get('bytes', 0), G.nodes[u].get('address', str(u)),\n"
+        "           G.nodes[v].get('address', str(v)))\n"
+        "    if best is None or key[0] > best[0]:\n"
+        "        best = key\n"
+        "result = [] if best is None else [best[1], best[2]]\n"
+    )
+
+
+def _emit_count_nodes_of_type(intent: Intent) -> str:
+    type_name = intent.param("type_name")
+    return (f"result = sum(1 for _, data in G.nodes(data=True) "
+            f"if data.get('type') == {type_name!r})\n")
+
+
+def _emit_list_isolated_nodes(intent: Intent) -> str:
+    return (
+        "result = sorted(\n"
+        "    G.nodes[node].get('address', str(node)) for node in G.nodes()\n"
+        "    if G.in_degree(node) == 0 and G.out_degree(node) == 0\n"
+        ")\n"
+    )
+
+
+def _emit_color_by_prefix16(intent: Intent) -> str:
+    return (
+        "prefixes = sorted({'.'.join(data['address'].split('.')[:2])\n"
+        "                   for _, data in G.nodes(data=True) if 'address' in data})\n"
+        "color_of = {prefix: 'color-' + str(index) for index, prefix in enumerate(prefixes)}\n"
+        "for node, data in G.nodes(data=True):\n"
+        "    if 'address' in data:\n"
+        "        G.nodes[node]['color'] = color_of['.'.join(data['address'].split('.')[:2])]\n"
+    )
+
+
+def _emit_top_k_talkers(intent: Intent) -> str:
+    k = intent.param("k", 3)
+    return (
+        "totals = {node: 0 for node in G.nodes()}\n"
+        "for u, _, data in G.edges(data=True):\n"
+        "    totals[u] += data.get('bytes', 0)\n"
+        "ranked = sorted(G.nodes(), key=lambda n: (-totals[n], G.nodes[n].get('address', str(n))))\n"
+        f"result = [G.nodes[n].get('address', str(n)) for n in ranked[:{k}]]\n"
+    )
+
+
+def _emit_peer_count_per_node(intent: Intent) -> str:
+    return (
+        "result = {}\n"
+        "for node in G.nodes():\n"
+        "    peers = set(G.successors(node)) | set(G.predecessors(node))\n"
+        "    result[G.nodes[node].get('address', str(node))] = len(peers)\n"
+    )
+
+
+def _emit_bytes_per_prefix16(intent: Intent) -> str:
+    return (
+        "result = {}\n"
+        "for u, _, data in G.edges(data=True):\n"
+        "    prefix = '.'.join(G.nodes[u]['address'].split('.')[:2])\n"
+        "    result[prefix] = result.get(prefix, 0) + data.get('bytes', 0)\n"
+    )
+
+
+def _emit_heavy_edges_above(intent: Intent) -> str:
+    threshold = intent.param("threshold", 500_000)
+    return (
+        "pairs = []\n"
+        "for u, v, data in G.edges(data=True):\n"
+        f"    if data.get('bytes', 0) > {threshold}:\n"
+        "        pairs.append([G.nodes[u].get('address', str(u)),\n"
+        "                      G.nodes[v].get('address', str(v))])\n"
+        "result = sorted(pairs)\n"
+    )
+
+
+def _emit_remove_light_edges(intent: Intent) -> str:
+    threshold = intent.param("threshold", 1000)
+    return (
+        "to_remove = [(u, v) for u, v, data in G.edges(data=True)\n"
+        f"             if data.get('bytes', 0) < {threshold}]\n"
+        "G.remove_edges_from(to_remove)\n"
+    )
+
+
+def _emit_avg_bytes_by_source_type(intent: Intent) -> str:
+    return (
+        "sums = {}\n"
+        "counts = {}\n"
+        "for u, _, data in G.edges(data=True):\n"
+        "    source_type = G.nodes[u].get('type', 'unknown')\n"
+        "    sums[source_type] = sums.get(source_type, 0) + data.get('bytes', 0)\n"
+        "    counts[source_type] = counts.get(source_type, 0) + 1\n"
+        "result = {key: sums[key] / counts[key] for key in sums}\n"
+    )
+
+
+def _emit_reciprocal_pair_count(intent: Intent) -> str:
+    return (
+        "pairs = set()\n"
+        "for u, v in G.edges():\n"
+        "    if u != v and G.has_edge(v, u):\n"
+        "        pairs.add(frozenset((u, v)))\n"
+        "result = len(pairs)\n"
+    )
+
+
+def _emit_cluster_nodes_by_total_bytes(intent: Intent) -> str:
+    clusters = intent.param("clusters", 5)
+    return (
+        "totals = {node: 0 for node in G.nodes()}\n"
+        "for u, v, data in G.edges(data=True):\n"
+        "    totals[u] += data.get('bytes', 0)\n"
+        "    totals[v] += data.get('bytes', 0)\n"
+        "result = {}\n"
+        "if totals:\n"
+        "    low = min(totals.values())\n"
+        "    high = max(totals.values())\n"
+        "    span = (high - low) or 1.0\n"
+        "    for node, total in totals.items():\n"
+        f"        index = int((total - low) / span * {clusters})\n"
+        f"        result[G.nodes[node].get('address', str(node))] = min({clusters} - 1, index)\n"
+    )
+
+
+def _emit_shortest_path_hops(intent: Intent) -> str:
+    source = intent.param("source")
+    target = intent.param("target")
+    return (
+        "import networkx as nx\n"
+        "undirected = G.to_undirected()\n"
+        "try:\n"
+        f"    result = nx.shortest_path_length(undirected, {source!r}, {target!r})\n"
+        "except (nx.NetworkXNoPath, nx.NodeNotFound):\n"
+        "    result = -1\n"
+    )
+
+
+def _emit_largest_wcc(intent: Intent) -> str:
+    return (
+        "import networkx as nx\n"
+        "components = list(nx.weakly_connected_components(G))\n"
+        "result = max((len(c) for c in components), default=0)\n"
+    )
+
+
+def _emit_heavy_hitter_outliers(intent: Intent) -> str:
+    return (
+        "import math\n"
+        "totals = {node: 0 for node in G.nodes()}\n"
+        "for u, _, data in G.edges(data=True):\n"
+        "    totals[u] += data.get('bytes', 0)\n"
+        "values = list(totals.values())\n"
+        "result = []\n"
+        "if values:\n"
+        "    mean = sum(values) / len(values)\n"
+        "    std = math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))\n"
+        "    result = sorted(G.nodes[node].get('address', str(node))\n"
+        "                    for node, total in totals.items() if total > mean + 2 * std)\n"
+    )
+
+
+def _emit_remove_highest_degree_node(intent: Intent) -> str:
+    return (
+        "ranked = sorted(G.nodes(), key=lambda n: (-(G.in_degree(n) + G.out_degree(n)), str(n)))\n"
+        "if ranked:\n"
+        "    G.remove_node(ranked[0])\n"
+        "result = G.number_of_edges()\n"
+    )
+
+
+def _emit_top_betweenness_node(intent: Intent) -> str:
+    return (
+        "import networkx as nx\n"
+        "centrality = nx.betweenness_centrality(G)\n"
+        "result = None\n"
+        "if centrality:\n"
+        "    best = sorted(centrality.items(), key=lambda item: (-item[1], str(item[0])))[0][0]\n"
+        "    result = G.nodes[best].get('address', str(best))\n"
+    )
+
+
+# ---------------------------------------------------------------------------
+# MALT intents
+# ---------------------------------------------------------------------------
+def _emit_list_ports_of_switch(intent: Intent) -> str:
+    switch = intent.param("switch")
+    return (
+        f"switch = {switch!r}\n"
+        "result = []\n"
+        "if switch in G:\n"
+        "    result = sorted(\n"
+        "        child for child in G.successors(switch)\n"
+        "        if G.edges[switch, child].get('relationship') == 'RK_CONTAINS'\n"
+        "        and G.nodes[child].get('type') == 'EK_PORT'\n"
+        "    )\n"
+    )
+
+
+def _emit_count_entities_of_type(intent: Intent) -> str:
+    entity_type = intent.param("entity_type")
+    return (f"result = sum(1 for _, data in G.nodes(data=True) "
+            f"if data.get('type') == {entity_type!r})\n")
+
+
+def _emit_switches_controlled_by(intent: Intent) -> str:
+    control_point = intent.param("control_point")
+    return (
+        f"cp = {control_point!r}\n"
+        "result = []\n"
+        "if cp in G:\n"
+        "    result = sorted(\n"
+        "        target for target in G.successors(cp)\n"
+        "        if G.edges[cp, target].get('relationship') == 'RK_CONTROLS'\n"
+        "    )\n"
+    )
+
+
+def _emit_top2_chassis_by_capacity(intent: Intent) -> str:
+    return (
+        "chassis = [(node, data.get('capacity', 0)) for node, data in G.nodes(data=True)\n"
+        "           if data.get('type') == 'EK_CHASSIS']\n"
+        "chassis.sort(key=lambda item: (-item[1], str(item[0])))\n"
+        "result = [node for node, _ in chassis[:2]]\n"
+    )
+
+
+def _emit_port_count_per_chassis_in_rack(intent: Intent) -> str:
+    rack = intent.param("rack")
+    return (
+        f"rack = {rack!r}\n"
+        "def contained(parent):\n"
+        "    return [child for child in G.successors(parent)\n"
+        "            if G.edges[parent, child].get('relationship') == 'RK_CONTAINS']\n"
+        "result = {}\n"
+        "if rack in G:\n"
+        "    for chassis in contained(rack):\n"
+        "        if G.nodes[chassis].get('type') != 'EK_CHASSIS':\n"
+        "            continue\n"
+        "        count = 0\n"
+        "        stack = contained(chassis)\n"
+        "        while stack:\n"
+        "            current = stack.pop()\n"
+        "            if G.nodes[current].get('type') == 'EK_PORT':\n"
+        "                count += 1\n"
+        "            stack.extend(contained(current))\n"
+        "        result[chassis] = count\n"
+    )
+
+
+def _emit_capacity_per_datacenter(intent: Intent) -> str:
+    return (
+        "def contained(parent):\n"
+        "    return [child for child in G.successors(parent)\n"
+        "            if G.edges[parent, child].get('relationship') == 'RK_CONTAINS']\n"
+        "result = {}\n"
+        "for node, data in G.nodes(data=True):\n"
+        "    if data.get('type') != 'EK_DATACENTER':\n"
+        "        continue\n"
+        "    total = 0\n"
+        "    stack = contained(node)\n"
+        "    while stack:\n"
+        "        current = stack.pop()\n"
+        "        if G.nodes[current].get('type') == 'EK_PACKET_SWITCH':\n"
+        "            total += G.nodes[current].get('capacity', 0)\n"
+        "        stack.extend(contained(current))\n"
+        "    result[node] = total\n"
+    )
+
+
+def _emit_remove_switch_and_rebalance(intent: Intent) -> str:
+    switch = intent.param("switch")
+    return (
+        f"switch = {switch!r}\n"
+        "if switch in G:\n"
+        "    capacity = G.nodes[switch].get('capacity', 0)\n"
+        "    chassis = None\n"
+        "    for parent in G.predecessors(switch):\n"
+        "        if G.edges[parent, switch].get('relationship') == 'RK_CONTAINS':\n"
+        "            chassis = parent\n"
+        "            break\n"
+        "    G.remove_node(switch)\n"
+        "    if chassis is not None:\n"
+        "        siblings = [child for child in G.successors(chassis)\n"
+        "                    if G.edges[chassis, child].get('relationship') == 'RK_CONTAINS'\n"
+        "                    and G.nodes[child].get('type') == 'EK_PACKET_SWITCH']\n"
+        "        if siblings:\n"
+        "            share = capacity / len(siblings)\n"
+        "            for sibling in siblings:\n"
+        "                G.nodes[sibling]['capacity'] = G.nodes[sibling].get('capacity', 0) + share\n"
+    )
+
+
+def _emit_down_port_fraction_per_datacenter(intent: Intent) -> str:
+    return (
+        "def contained(parent):\n"
+        "    return [child for child in G.successors(parent)\n"
+        "            if G.edges[parent, child].get('relationship') == 'RK_CONTAINS']\n"
+        "result = {}\n"
+        "for node, data in G.nodes(data=True):\n"
+        "    if data.get('type') != 'EK_DATACENTER':\n"
+        "        continue\n"
+        "    ports = []\n"
+        "    stack = contained(node)\n"
+        "    while stack:\n"
+        "        current = stack.pop()\n"
+        "        if G.nodes[current].get('type') == 'EK_PORT':\n"
+        "            ports.append(current)\n"
+        "        stack.extend(contained(current))\n"
+        "    if not ports:\n"
+        "        result[node] = 0.0\n"
+        "        continue\n"
+        "    down = sum(1 for port in ports if G.nodes[port].get('status') == 'down')\n"
+        "    result[node] = down / len(ports)\n"
+    )
+
+
+def _emit_add_switch_to_least_loaded_chassis(intent: Intent) -> str:
+    name = intent.param("name", "new-switch-1")
+    capacity = intent.param("capacity", 100)
+    return (
+        "chassis = [(node, data.get('capacity', 0)) for node, data in G.nodes(data=True)\n"
+        "           if data.get('type') == 'EK_CHASSIS']\n"
+        "if chassis:\n"
+        "    chassis.sort(key=lambda item: (item[1], str(item[0])))\n"
+        "    target_chassis = chassis[0][0]\n"
+        f"    G.add_node({name!r}, type='EK_PACKET_SWITCH', name={name!r}, capacity={capacity})\n"
+        f"    G.add_edge(target_chassis, {name!r}, relationship='RK_CONTAINS')\n"
+        f"    G.nodes[target_chassis]['capacity'] = G.nodes[target_chassis].get('capacity', 0) + {capacity}\n"
+    )
+
+
+#: intent name -> template
+TEMPLATES: Dict[str, Callable[[Intent], str]] = {
+    "count_nodes": _emit_count_nodes,
+    "count_edges": _emit_count_edges,
+    "total_bytes": _emit_total_bytes,
+    "label_nodes_by_prefix": _emit_label_nodes_by_prefix,
+    "list_nodes_by_prefix": _emit_list_nodes_by_prefix,
+    "max_bytes_edge": _emit_max_bytes_edge,
+    "count_nodes_of_type": _emit_count_nodes_of_type,
+    "list_isolated_nodes": _emit_list_isolated_nodes,
+    "color_by_prefix16": _emit_color_by_prefix16,
+    "top_k_talkers": _emit_top_k_talkers,
+    "peer_count_per_node": _emit_peer_count_per_node,
+    "bytes_per_prefix16": _emit_bytes_per_prefix16,
+    "heavy_edges_above": _emit_heavy_edges_above,
+    "remove_light_edges": _emit_remove_light_edges,
+    "avg_bytes_by_source_type": _emit_avg_bytes_by_source_type,
+    "reciprocal_pair_count": _emit_reciprocal_pair_count,
+    "cluster_nodes_by_total_bytes": _emit_cluster_nodes_by_total_bytes,
+    "shortest_path_hops": _emit_shortest_path_hops,
+    "largest_weakly_connected_component": _emit_largest_wcc,
+    "heavy_hitter_outliers": _emit_heavy_hitter_outliers,
+    "remove_highest_degree_node": _emit_remove_highest_degree_node,
+    "top_betweenness_node": _emit_top_betweenness_node,
+    "list_ports_of_switch": _emit_list_ports_of_switch,
+    "count_entities_of_type": _emit_count_entities_of_type,
+    "switches_controlled_by": _emit_switches_controlled_by,
+    "top2_chassis_by_capacity": _emit_top2_chassis_by_capacity,
+    "port_count_per_chassis_in_rack": _emit_port_count_per_chassis_in_rack,
+    "capacity_per_datacenter": _emit_capacity_per_datacenter,
+    "remove_switch_and_rebalance": _emit_remove_switch_and_rebalance,
+    "down_port_fraction_per_datacenter": _emit_down_port_fraction_per_datacenter,
+    "add_switch_to_least_loaded_chassis": _emit_add_switch_to_least_loaded_chassis,
+}
+
+
+def supported_intents() -> List[str]:
+    """Intent names this emitter can generate code for."""
+    return sorted(TEMPLATES)
+
+
+def emit(intent: Intent) -> str:
+    """Render NetworkX-backend Python code for *intent*."""
+    if intent.name not in TEMPLATES:
+        raise KeyError(f"networkx emitter does not support intent {intent.name!r}")
+    return TEMPLATES[intent.name](intent)

@@ -1,0 +1,536 @@
+"""Backend-independent reference semantics for every supported intent.
+
+Each reference function computes the *correct* outcome of a query directly on
+the :class:`~repro.graph.model.PropertyGraph`: a result value, an updated
+graph, or both.  The benchmark uses these as golden answers ("golden answer
+selector" in the paper's Figure 3), and the strawman path uses them to answer
+directly from the serialized data.
+
+The functions never mutate the input graph; manipulation intents return a
+mutated *copy*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.graph import PropertyGraph
+from repro.synthesis.intents import Intent
+from repro.utils.validation import ValidationError
+
+# Entity/relationship kind strings of the MALT model.  They are duplicated
+# here (rather than imported from repro.malt.schema) to keep the synthesis
+# package free of application-package imports — the application packages
+# depend on the core framework, which depends on the LLM simulator, which
+# depends on this module.
+_EK_CHASSIS = "EK_CHASSIS"
+_EK_PACKET_SWITCH = "EK_PACKET_SWITCH"
+_EK_PORT = "EK_PORT"
+_EK_DATACENTER = "EK_DATACENTER"
+_RK_CONTAINS = "RK_CONTAINS"
+_RK_CONTROLS = "RK_CONTROLS"
+
+
+def prefix16(address: str) -> str:
+    """The /16 prefix of a dotted-quad address ("10.24.3.7" -> "10.24")."""
+    return ".".join(address.split(".")[:2])
+
+
+def prefix24(address: str) -> str:
+    """The /24 prefix of a dotted-quad address ("10.24.3.7" -> "10.24.3")."""
+    return ".".join(address.split(".")[:3])
+
+
+class UnknownIntentError(ValidationError):
+    """Raised when no reference implementation exists for an intent."""
+
+
+@dataclass
+class ReferenceOutcome:
+    """The golden outcome of one query."""
+
+    kind: str                      # "value", "graph", or "both"
+    value: Any = None
+    graph: Optional[PropertyGraph] = None
+
+
+_HANDLERS: Dict[str, Callable[[PropertyGraph, Intent], ReferenceOutcome]] = {}
+
+
+def _register(name: str):
+    def decorator(func: Callable[[PropertyGraph, Intent], ReferenceOutcome]):
+        _HANDLERS[name] = func
+        return func
+    return decorator
+
+
+def evaluate_reference(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    """Compute the golden outcome of *intent* on *graph*."""
+    if intent.name not in _HANDLERS:
+        raise UnknownIntentError(f"no reference implementation for intent {intent.name!r}")
+    return _HANDLERS[intent.name](graph, intent)
+
+
+def supported_reference_intents() -> List[str]:
+    """Names of all intents with a reference implementation."""
+    return sorted(_HANDLERS)
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+def _address(graph: PropertyGraph, node_id: Any) -> str:
+    return graph.node_attributes(node_id).get("address", str(node_id))
+
+
+def _outgoing_bytes(graph: PropertyGraph, node_id: Any) -> float:
+    return graph.out_degree(node_id, weight="bytes")
+
+
+def _total_bytes_per_node(graph: PropertyGraph) -> Dict[Any, float]:
+    return {node: graph.degree(node, weight="bytes") for node in graph.nodes()}
+
+
+def _contains_children(graph: PropertyGraph, parent: Any) -> List[Any]:
+    children = []
+    for child in graph.successors(parent):
+        if graph.edge_attributes(parent, child).get("relationship") == _RK_CONTAINS:
+            children.append(child)
+    return children
+
+
+def _descendants_of_type(graph: PropertyGraph, root: Any, entity_type: str) -> List[Any]:
+    found = []
+    stack = list(_contains_children(graph, root))
+    while stack:
+        current = stack.pop()
+        if graph.node_attributes(current).get("type") == entity_type:
+            found.append(current)
+        stack.extend(_contains_children(graph, current))
+    return found
+
+
+# ---------------------------------------------------------------------------
+# traffic analysis — easy
+# ---------------------------------------------------------------------------
+@_register("count_nodes")
+def _count_nodes(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    return ReferenceOutcome(kind="value", value=graph.node_count)
+
+
+@_register("count_edges")
+def _count_edges(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    return ReferenceOutcome(kind="value", value=graph.edge_count)
+
+
+@_register("total_bytes")
+def _total_bytes(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    return ReferenceOutcome(kind="value", value=graph.total_edge_weight("bytes"))
+
+
+@_register("label_nodes_by_prefix")
+def _label_nodes_by_prefix(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    prefix = intent.param("prefix")
+    key = intent.param("key", "app")
+    value = intent.param("value", "production")
+    updated = graph.copy()
+    for node_id, attrs in updated.nodes(data=True):
+        address = attrs.get("address", "")
+        if address.startswith(prefix + ".") or address == prefix:
+            attrs[key] = value
+    return ReferenceOutcome(kind="graph", graph=updated)
+
+
+@_register("list_nodes_by_prefix")
+def _list_nodes_by_prefix(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    prefix = intent.param("prefix")
+    addresses = sorted(
+        attrs["address"] for _, attrs in graph.nodes(data=True)
+        if attrs.get("address", "").startswith(prefix + ".") or attrs.get("address") == prefix)
+    return ReferenceOutcome(kind="value", value=addresses)
+
+
+@_register("max_bytes_edge")
+def _max_bytes_edge(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    best = None
+    for source, target, attrs in graph.edges(data=True):
+        key = (attrs.get("bytes", 0), _address(graph, source), _address(graph, target))
+        if best is None or key[0] > best[0]:
+            best = key
+    if best is None:
+        return ReferenceOutcome(kind="value", value=[])
+    return ReferenceOutcome(kind="value", value=[best[1], best[2]])
+
+
+@_register("count_nodes_of_type")
+def _count_nodes_of_type(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    type_name = intent.param("type_name")
+    count = sum(1 for _, attrs in graph.nodes(data=True) if attrs.get("type") == type_name)
+    return ReferenceOutcome(kind="value", value=count)
+
+
+@_register("list_isolated_nodes")
+def _list_isolated_nodes(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    isolated = sorted(_address(graph, node) for node in graph.nodes()
+                      if graph.degree(node) == 0)
+    return ReferenceOutcome(kind="value", value=isolated)
+
+
+# ---------------------------------------------------------------------------
+# traffic analysis — medium
+# ---------------------------------------------------------------------------
+@_register("color_by_prefix16")
+def _color_by_prefix16(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    updated = graph.copy()
+    prefixes = sorted({prefix16(attrs["address"])
+                       for _, attrs in updated.nodes(data=True) if "address" in attrs})
+    color_of = {prefix: f"color-{index}" for index, prefix in enumerate(prefixes)}
+    for _, attrs in updated.nodes(data=True):
+        if "address" in attrs:
+            attrs["color"] = color_of[prefix16(attrs["address"])]
+    return ReferenceOutcome(kind="graph", graph=updated)
+
+
+@_register("top_k_talkers")
+def _top_k_talkers(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    k = intent.param("k", 3)
+    scored = [(-_outgoing_bytes(graph, node), _address(graph, node)) for node in graph.nodes()]
+    scored.sort()
+    return ReferenceOutcome(kind="value", value=[address for _, address in scored[:k]])
+
+
+@_register("peer_count_per_node")
+def _peer_count_per_node(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    counts = {_address(graph, node): len(graph.neighbors(node)) for node in graph.nodes()}
+    return ReferenceOutcome(kind="value", value=counts)
+
+
+@_register("bytes_per_prefix16")
+def _bytes_per_prefix16(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    totals: Dict[str, float] = {}
+    for source, _, attrs in graph.edges(data=True):
+        prefix = prefix16(_address(graph, source))
+        totals[prefix] = totals.get(prefix, 0) + attrs.get("bytes", 0)
+    return ReferenceOutcome(kind="value", value=totals)
+
+
+@_register("heavy_edges_above")
+def _heavy_edges_above(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    threshold = intent.param("threshold", 500_000)
+    pairs = sorted([_address(graph, source), _address(graph, target)]
+                   for source, target, attrs in graph.edges(data=True)
+                   if attrs.get("bytes", 0) > threshold)
+    return ReferenceOutcome(kind="value", value=pairs)
+
+
+@_register("remove_light_edges")
+def _remove_light_edges(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    threshold = intent.param("threshold", 1000)
+    updated = graph.copy()
+    to_remove = [(source, target) for source, target, attrs in updated.edges(data=True)
+                 if attrs.get("bytes", 0) < threshold]
+    for source, target in to_remove:
+        updated.remove_edge(source, target)
+    return ReferenceOutcome(kind="graph", graph=updated)
+
+
+@_register("avg_bytes_by_source_type")
+def _avg_bytes_by_source_type(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for source, _, attrs in graph.edges(data=True):
+        source_type = graph.node_attributes(source).get("type", "unknown")
+        sums[source_type] = sums.get(source_type, 0) + attrs.get("bytes", 0)
+        counts[source_type] = counts.get(source_type, 0) + 1
+    averages = {key: sums[key] / counts[key] for key in sums}
+    return ReferenceOutcome(kind="value", value=averages)
+
+
+@_register("reciprocal_pair_count")
+def _reciprocal_pair_count(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    count = 0
+    for source, target in graph.edges():
+        if source < target and graph.has_edge(target, source):
+            count += 1
+    # count unordered pairs where both directions exist; the comparison above
+    # only works for orderable ids, so fall back to an explicit set otherwise
+    pairs = set()
+    for source, target in graph.edges():
+        if graph.has_edge(target, source) and source != target:
+            pairs.add(frozenset((source, target)))
+    return ReferenceOutcome(kind="value", value=len(pairs))
+
+
+# ---------------------------------------------------------------------------
+# traffic analysis — hard
+# ---------------------------------------------------------------------------
+@_register("cluster_nodes_by_total_bytes")
+def _cluster_nodes_by_total_bytes(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    clusters = intent.param("clusters", 5)
+    totals = _total_bytes_per_node(graph)
+    if not totals:
+        return ReferenceOutcome(kind="value", value={})
+    low = min(totals.values())
+    high = max(totals.values())
+    span = (high - low) or 1.0
+    groups = {}
+    for node, total in totals.items():
+        index = int((total - low) / span * clusters)
+        groups[_address(graph, node)] = min(clusters - 1, index)
+    return ReferenceOutcome(kind="value", value=groups)
+
+
+@_register("shortest_path_hops")
+def _shortest_path_hops(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    source = intent.param("source")
+    target = intent.param("target")
+    if not graph.has_node(source) or not graph.has_node(target):
+        return ReferenceOutcome(kind="value", value=-1)
+    # undirected breadth-first search over the communication graph
+    frontier = [source]
+    distances = {source: 0}
+    while frontier:
+        next_frontier = []
+        for node in frontier:
+            for neighbor in graph.neighbors(node):
+                if neighbor not in distances:
+                    distances[neighbor] = distances[node] + 1
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return ReferenceOutcome(kind="value", value=distances.get(target, -1))
+
+
+@_register("largest_weakly_connected_component")
+def _largest_wcc(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    seen = set()
+    best = 0
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbor in graph.neighbors(node):
+                if neighbor not in component:
+                    component.add(neighbor)
+                    stack.append(neighbor)
+        seen.update(component)
+        best = max(best, len(component))
+    return ReferenceOutcome(kind="value", value=best)
+
+
+@_register("heavy_hitter_outliers")
+def _heavy_hitter_outliers(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    totals = {node: _outgoing_bytes(graph, node) for node in graph.nodes()}
+    values = list(totals.values())
+    if not values:
+        return ReferenceOutcome(kind="value", value=[])
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    threshold = mean + 2 * math.sqrt(variance)
+    outliers = sorted(_address(graph, node) for node, total in totals.items()
+                      if total > threshold)
+    return ReferenceOutcome(kind="value", value=outliers)
+
+
+@_register("remove_highest_degree_node")
+def _remove_highest_degree_node(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    updated = graph.copy()
+    if updated.node_count == 0:
+        return ReferenceOutcome(kind="both", value=0, graph=updated)
+    ranked = sorted(updated.nodes(), key=lambda node: (-updated.degree(node), str(node)))
+    updated.remove_node(ranked[0])
+    return ReferenceOutcome(kind="both", value=updated.edge_count, graph=updated)
+
+
+@_register("top_betweenness_node")
+def _top_betweenness_node(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    import networkx as nx
+
+    from repro.graph.convert import to_networkx
+
+    nx_graph = to_networkx(graph)
+    if nx_graph.number_of_nodes() == 0:
+        return ReferenceOutcome(kind="value", value=None)
+    centrality = nx.betweenness_centrality(nx_graph)
+    best = sorted(centrality.items(), key=lambda item: (-item[1], str(item[0])))[0][0]
+    return ReferenceOutcome(kind="value", value=_address(graph, best))
+
+
+@_register("merge_nodes_by_prefix24")
+def _merge_nodes_by_prefix24(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    updated = PropertyGraph(name=graph.name, directed=True)
+    group_of = {}
+    for node, attrs in graph.nodes(data=True):
+        group = prefix24(attrs["address"]) if "address" in attrs else str(node)
+        group_of[node] = group
+        if not updated.has_node(group):
+            updated.add_node(group, address=group, type="aggregate")
+    for source, target, attrs in graph.edges(data=True):
+        group_source = group_of[source]
+        group_target = group_of[target]
+        if group_source == group_target:
+            continue
+        if updated.has_edge(group_source, group_target):
+            existing = updated.edge_attributes(group_source, group_target)
+            for key in ("bytes", "connections", "packets"):
+                existing[key] = existing.get(key, 0) + attrs.get(key, 0)
+        else:
+            updated.add_edge(group_source, group_target,
+                             bytes=attrs.get("bytes", 0),
+                             connections=attrs.get("connections", 0),
+                             packets=attrs.get("packets", 0))
+    return ReferenceOutcome(kind="graph", graph=updated)
+
+
+@_register("redistribute_busiest_node_bytes")
+def _redistribute_busiest_node_bytes(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    updated = graph.copy()
+    busiest = None
+    busiest_total = -1.0
+    for node in updated.nodes():
+        total = updated.out_degree(node, weight="bytes")
+        if total > busiest_total or (total == busiest_total and str(node) < str(busiest)):
+            busiest, busiest_total = node, total
+    if busiest is None:
+        return ReferenceOutcome(kind="graph", graph=updated)
+    successors = updated.successors(busiest)
+    if successors:
+        share = busiest_total / len(successors)
+        for target in successors:
+            updated.edge_attributes(busiest, target)["bytes"] = share
+    return ReferenceOutcome(kind="graph", graph=updated)
+
+
+# ---------------------------------------------------------------------------
+# MALT — easy
+# ---------------------------------------------------------------------------
+@_register("list_ports_of_switch")
+def _list_ports_of_switch(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    switch = intent.param("switch")
+    if not graph.has_node(switch):
+        return ReferenceOutcome(kind="value", value=[])
+    ports = sorted(child for child in _contains_children(graph, switch)
+                   if graph.node_attributes(child).get("type") == _EK_PORT)
+    return ReferenceOutcome(kind="value", value=ports)
+
+
+@_register("count_entities_of_type")
+def _count_entities_of_type(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    entity_type = intent.param("entity_type")
+    count = sum(1 for _, attrs in graph.nodes(data=True) if attrs.get("type") == entity_type)
+    return ReferenceOutcome(kind="value", value=count)
+
+
+@_register("switches_controlled_by")
+def _switches_controlled_by(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    control_point = intent.param("control_point")
+    if not graph.has_node(control_point):
+        return ReferenceOutcome(kind="value", value=[])
+    switches = sorted(
+        target for target in graph.successors(control_point)
+        if graph.edge_attributes(control_point, target).get("relationship")
+        == _RK_CONTROLS)
+    return ReferenceOutcome(kind="value", value=switches)
+
+
+# ---------------------------------------------------------------------------
+# MALT — medium
+# ---------------------------------------------------------------------------
+@_register("top2_chassis_by_capacity")
+def _top2_chassis_by_capacity(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    chassis = [(node, attrs.get("capacity", 0))
+               for node, attrs in graph.nodes(data=True)
+               if attrs.get("type") == _EK_CHASSIS]
+    chassis.sort(key=lambda item: (-item[1], str(item[0])))
+    return ReferenceOutcome(kind="value", value=[node for node, _ in chassis[:2]])
+
+
+@_register("port_count_per_chassis_in_rack")
+def _port_count_per_chassis_in_rack(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    rack = intent.param("rack")
+    result: Dict[str, int] = {}
+    if not graph.has_node(rack):
+        return ReferenceOutcome(kind="value", value=result)
+    for chassis in _contains_children(graph, rack):
+        if graph.node_attributes(chassis).get("type") != _EK_CHASSIS:
+            continue
+        ports = _descendants_of_type(graph, chassis, _EK_PORT)
+        result[chassis] = len(ports)
+    return ReferenceOutcome(kind="value", value=result)
+
+
+@_register("capacity_per_datacenter")
+def _capacity_per_datacenter(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    result: Dict[str, float] = {}
+    for node, attrs in graph.nodes(data=True):
+        if attrs.get("type") != _EK_DATACENTER:
+            continue
+        switches = _descendants_of_type(graph, node, _EK_PACKET_SWITCH)
+        result[node] = sum(graph.node_attributes(s).get("capacity", 0) for s in switches)
+    return ReferenceOutcome(kind="value", value=result)
+
+
+# ---------------------------------------------------------------------------
+# MALT — hard
+# ---------------------------------------------------------------------------
+@_register("remove_switch_and_rebalance")
+def _remove_switch_and_rebalance(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    switch = intent.param("switch")
+    updated = graph.copy()
+    if not updated.has_node(switch):
+        return ReferenceOutcome(kind="graph", graph=updated)
+    capacity = updated.node_attributes(switch).get("capacity", 0)
+    chassis = None
+    for parent in updated.predecessors(switch):
+        if updated.edge_attributes(parent, switch).get("relationship") == _RK_CONTAINS:
+            chassis = parent
+            break
+    updated.remove_node(switch)
+    if chassis is not None:
+        siblings = [child for child in _contains_children(updated, chassis)
+                    if updated.node_attributes(child).get("type") == _EK_PACKET_SWITCH]
+        if siblings:
+            share = capacity / len(siblings)
+            for sibling in siblings:
+                attrs = updated.node_attributes(sibling)
+                attrs["capacity"] = attrs.get("capacity", 0) + share
+    return ReferenceOutcome(kind="graph", graph=updated)
+
+
+@_register("down_port_fraction_per_datacenter")
+def _down_port_fraction_per_datacenter(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    result: Dict[str, float] = {}
+    for node, attrs in graph.nodes(data=True):
+        if attrs.get("type") != _EK_DATACENTER:
+            continue
+        ports = _descendants_of_type(graph, node, _EK_PORT)
+        if not ports:
+            result[node] = 0.0
+            continue
+        down = sum(1 for port in ports
+                   if graph.node_attributes(port).get("status") == "down")
+        result[node] = down / len(ports)
+    return ReferenceOutcome(kind="value", value=result)
+
+
+@_register("add_switch_to_least_loaded_chassis")
+def _add_switch_to_least_loaded_chassis(graph: PropertyGraph, intent: Intent) -> ReferenceOutcome:
+    name = intent.param("name", "new-switch-1")
+    capacity = intent.param("capacity", 100)
+    updated = graph.copy()
+    chassis = [(node, attrs.get("capacity", 0))
+               for node, attrs in updated.nodes(data=True)
+               if attrs.get("type") == _EK_CHASSIS]
+    if not chassis:
+        return ReferenceOutcome(kind="graph", graph=updated)
+    chassis.sort(key=lambda item: (item[1], str(item[0])))
+    target_chassis = chassis[0][0]
+    updated.add_node(name, type=_EK_PACKET_SWITCH, name=name, capacity=capacity)
+    updated.add_edge(target_chassis, name, relationship=_RK_CONTAINS)
+    chassis_attrs = updated.node_attributes(target_chassis)
+    chassis_attrs["capacity"] = chassis_attrs.get("capacity", 0) + capacity
+    return ReferenceOutcome(kind="graph", graph=updated)

@@ -1,0 +1,165 @@
+"""Code emitter for the SQL backend.
+
+Each template renders one or more SQL statements (separated by semicolons)
+against the ``nodes``/``edges`` tables produced by
+:func:`repro.graph.convert.to_sql_database`.  The result of the final
+``SELECT`` is the answer; manipulation intents issue ``UPDATE``/``DELETE``
+statements and the evaluator reconstructs the graph from the database.
+
+Coverage is the narrowest of the three backends: prefix arithmetic, graph
+traversal, and multi-level containment walks do not fit the supported SQL
+subset, mirroring the paper's finding that the SQL representation performs
+worst on graph-manipulation tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.synthesis.intents import Intent
+
+
+def _emit_count_nodes(intent: Intent) -> str:
+    return "SELECT COUNT(*) AS node_count FROM nodes"
+
+
+def _emit_count_edges(intent: Intent) -> str:
+    return "SELECT COUNT(*) AS edge_count FROM edges"
+
+
+def _emit_total_bytes(intent: Intent) -> str:
+    return "SELECT SUM(bytes) AS total_bytes FROM edges"
+
+
+def _emit_list_nodes_by_prefix(intent: Intent) -> str:
+    prefix = intent.param("prefix")
+    return (f"SELECT address FROM nodes WHERE address LIKE '{prefix}.%' "
+            f"ORDER BY address")
+
+
+def _emit_max_bytes_edge(intent: Intent) -> str:
+    return (
+        "SELECT n1.address AS source_address, n2.address AS target_address "
+        "FROM edges "
+        "JOIN nodes n1 ON source = n1.id "
+        "JOIN nodes n2 ON target = n2.id "
+        "ORDER BY bytes DESC, n1.address ASC, n2.address ASC "
+        "LIMIT 1"
+    )
+
+
+def _emit_count_nodes_of_type(intent: Intent) -> str:
+    type_name = intent.param("type_name")
+    return f"SELECT COUNT(*) AS type_count FROM nodes WHERE type = '{type_name}'"
+
+
+def _emit_top_k_talkers(intent: Intent) -> str:
+    k = intent.param("k", 3)
+    return (
+        "SELECT n.address AS address, SUM(bytes) AS total_bytes "
+        "FROM edges "
+        "JOIN nodes n ON source = n.id "
+        "GROUP BY n.address "
+        "ORDER BY total_bytes DESC, address ASC "
+        f"LIMIT {k}"
+    )
+
+
+def _emit_heavy_edges_above(intent: Intent) -> str:
+    threshold = intent.param("threshold", 500_000)
+    return (
+        "SELECT n1.address AS source_address, n2.address AS target_address "
+        "FROM edges "
+        "JOIN nodes n1 ON source = n1.id "
+        "JOIN nodes n2 ON target = n2.id "
+        f"WHERE bytes > {threshold} "
+        "ORDER BY source_address ASC, target_address ASC"
+    )
+
+
+def _emit_remove_light_edges(intent: Intent) -> str:
+    threshold = intent.param("threshold", 1000)
+    return f"DELETE FROM edges WHERE bytes < {threshold}"
+
+
+def _emit_avg_bytes_by_source_type(intent: Intent) -> str:
+    return (
+        "SELECT n.type AS source_type, AVG(bytes) AS avg_bytes "
+        "FROM edges "
+        "JOIN nodes n ON source = n.id "
+        "GROUP BY n.type"
+    )
+
+
+def _emit_reciprocal_pair_count(intent: Intent) -> str:
+    return (
+        "SELECT COUNT(*) / 2 AS reciprocal_pairs "
+        "FROM edges e1 "
+        "JOIN edges e2 ON e1.source = e2.target AND e1.target = e2.source "
+        "WHERE e1.source <> e1.target"
+    )
+
+
+# ---------------------------------------------------------------------------
+# MALT intents
+# ---------------------------------------------------------------------------
+def _emit_list_ports_of_switch(intent: Intent) -> str:
+    switch = intent.param("switch")
+    return (
+        "SELECT target FROM edges "
+        f"WHERE source = '{switch}' AND relationship = 'RK_CONTAINS' "
+        "ORDER BY target"
+    )
+
+
+def _emit_count_entities_of_type(intent: Intent) -> str:
+    entity_type = intent.param("entity_type")
+    return f"SELECT COUNT(*) AS entity_count FROM nodes WHERE type = '{entity_type}'"
+
+
+def _emit_switches_controlled_by(intent: Intent) -> str:
+    control_point = intent.param("control_point")
+    return (
+        "SELECT target FROM edges "
+        f"WHERE source = '{control_point}' AND relationship = 'RK_CONTROLS' "
+        "ORDER BY target"
+    )
+
+
+def _emit_top2_chassis_by_capacity(intent: Intent) -> str:
+    return (
+        "SELECT id FROM nodes WHERE type = 'EK_CHASSIS' "
+        "ORDER BY capacity DESC, id ASC LIMIT 2"
+    )
+
+
+#: intent name -> template
+TEMPLATES: Dict[str, Callable[[Intent], str]] = {
+    "count_nodes": _emit_count_nodes,
+    "count_edges": _emit_count_edges,
+    "total_bytes": _emit_total_bytes,
+    "list_nodes_by_prefix": _emit_list_nodes_by_prefix,
+    "max_bytes_edge": _emit_max_bytes_edge,
+    "count_nodes_of_type": _emit_count_nodes_of_type,
+    "top_k_talkers": _emit_top_k_talkers,
+    "heavy_edges_above": _emit_heavy_edges_above,
+    "remove_light_edges": _emit_remove_light_edges,
+    "avg_bytes_by_source_type": _emit_avg_bytes_by_source_type,
+    "reciprocal_pair_count": _emit_reciprocal_pair_count,
+    "list_ports_of_switch": _emit_list_ports_of_switch,
+    "count_entities_of_type": _emit_count_entities_of_type,
+    "switches_controlled_by": _emit_switches_controlled_by,
+    "top2_chassis_by_capacity": _emit_top2_chassis_by_capacity,
+}
+
+
+def supported_intents() -> List[str]:
+    """Intent names this emitter can generate SQL for."""
+    return sorted(TEMPLATES)
+
+
+def emit(intent: Intent) -> str:
+    """Render SQL for *intent*."""
+    if intent.name not in TEMPLATES:
+        raise KeyError(f"sql emitter does not support intent {intent.name!r}")
+    return TEMPLATES[intent.name](intent)

@@ -1,0 +1,36 @@
+"""Complementary program-synthesis techniques (paper §2.2 and §4.4).
+
+The paper studies whether techniques from the general program-synthesis
+literature can recover queries the base model fails:
+
+* **pass@k** — sample the model k times and accept if any sample's code
+  passes (:mod:`repro.techniques.passk`);
+* **self-debug** — feed the execution error back to the model and ask it to
+  fix its answer (:mod:`repro.techniques.selfdebug`);
+* **execution-consistency selection** — generate several samples and pick the
+  answer the largest number of samples agree on
+  (:mod:`repro.techniques.selection`);
+* **few-shot examples** — keep a store of previously approved (query, code)
+  pairs to include in future prompts (:mod:`repro.techniques.fewshot`).
+
+The Table-6 case study (Bard on the failed MALT queries) is reproduced by
+:mod:`repro.techniques.case_study`.
+"""
+
+from repro.techniques.passk import PassAtKRunner, PassAtKResult
+from repro.techniques.selfdebug import SelfDebugRunner, SelfDebugResult
+from repro.techniques.selection import ExecutionConsistencySelector, SelectionResult
+from repro.techniques.fewshot import FewShotExampleStore
+from repro.techniques.case_study import ImprovementCaseStudy, CaseStudyReport
+
+__all__ = [
+    "PassAtKRunner",
+    "PassAtKResult",
+    "SelfDebugRunner",
+    "SelfDebugResult",
+    "ExecutionConsistencySelector",
+    "SelectionResult",
+    "FewShotExampleStore",
+    "ImprovementCaseStudy",
+    "CaseStudyReport",
+]

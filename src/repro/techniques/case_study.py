@@ -1,0 +1,129 @@
+"""The Table-6 improvement case study.
+
+The paper takes the network-lifecycle (MALT) queries that Bard fails with the
+NetworkX backend and measures how much two complementary techniques help:
+pass@5 sampling and a single self-debug round.  This module reproduces that
+study for any model/backend pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.benchmark.queries import BenchmarkQuery, queries_for
+from repro.benchmark.runner import BenchmarkConfig, BenchmarkRunner
+from repro.techniques.passk import PassAtKRunner
+from repro.techniques.selfdebug import SelfDebugRunner
+from repro.utils.tables import format_table
+
+
+@dataclass
+class CaseStudyReport:
+    """Accuracy of the base model vs the two improvement techniques."""
+
+    model: str
+    backend: str
+    application: str
+    studied_queries: List[str] = field(default_factory=list)
+    pass_at_1: float = 0.0
+    pass_at_k: float = 0.0
+    self_debug: float = 0.0
+    k: int = 5
+
+    def as_row(self) -> List[object]:
+        return [f"{self.model} ({self.backend})", self.pass_at_1, self.pass_at_k,
+                self.self_debug]
+
+    def render(self) -> str:
+        headers = ["configuration", "Pass@1", f"Pass@{self.k}", "Self-debug"]
+        return format_table(headers, [self.as_row()],
+                            title=f"Improvement case study — {self.application}")
+
+
+class ImprovementCaseStudy:
+    """Reproduce the paper's Table 6 for a chosen model and backend."""
+
+    def __init__(self, config: Optional[BenchmarkConfig] = None, k: int = 5,
+                 self_debug_rounds: int = 1) -> None:
+        self.runner = BenchmarkRunner(config)
+        self.k = k
+        self.self_debug_rounds = self_debug_rounds
+
+    # ------------------------------------------------------------------
+    def failing_queries(self, application: str, model: str,
+                        backend: str) -> List[BenchmarkQuery]:
+        """The queries the base model fails at pass@1 (the study population)."""
+        if application == "malt":
+            app = self.runner.config.malt_application()
+        else:
+            app = self.runner.config.traffic_application()
+        failing = []
+        for query in queries_for(application):
+            record = self.runner.run_query(app, query, model, backend)
+            if not record.passed:
+                failing.append(query)
+        return failing
+
+    # ------------------------------------------------------------------
+    def run(self, application: str = "malt", model: str = "bard",
+            backend: str = "networkx",
+            queries: Optional[List[BenchmarkQuery]] = None) -> CaseStudyReport:
+        """Measure pass@1, pass@k, and self-debug on the failing queries.
+
+        By construction the studied queries all fail at pass@1, so
+        ``pass_at_1`` is 0.0 on them (the paper's 0.44 in Table 6 is the
+        accuracy over *all* MALT queries; both views are reported by the
+        benchmark harness).
+        """
+        if application == "malt":
+            app = self.runner.config.malt_application()
+        else:
+            app = self.runner.config.traffic_application()
+        if queries is None:
+            queries = self.failing_queries(application, model, backend)
+
+        report = CaseStudyReport(model=model, backend=backend, application=application,
+                                 studied_queries=[q.query_id for q in queries], k=self.k)
+        if not queries:
+            return report
+
+        base_passes = 0
+        for query in queries:
+            record = self.runner.run_query(app, query, model, backend)
+            if record.passed:
+                base_passes += 1
+        report.pass_at_1 = base_passes / len(queries)
+
+        passk = PassAtKRunner(self.runner, k=self.k)
+        report.pass_at_k = passk.pass_rate(app, queries, model, backend)
+
+        selfdebug = SelfDebugRunner(self.runner, max_rounds=self.self_debug_rounds)
+        report.self_debug = selfdebug.fix_rate(app, queries, model, backend)
+        return report
+
+    # ------------------------------------------------------------------
+    def overall_accuracy_with_techniques(self, application: str, model: str,
+                                         backend: str) -> Dict[str, float]:
+        """Accuracy over *all* queries of the application (the Table-6 view).
+
+        Returns pass@1 / pass@k / self-debug accuracy across the full query
+        set, which is directly comparable to the paper's Table 6 row.
+        """
+        if application == "malt":
+            app = self.runner.config.malt_application()
+        else:
+            app = self.runner.config.traffic_application()
+        queries = queries_for(application)
+
+        base = sum(1 for query in queries
+                   if self.runner.run_query(app, query, model, backend).passed)
+        passk = PassAtKRunner(self.runner, k=self.k)
+        at_k = passk.pass_rate(app, queries, model, backend)
+        selfdebug = SelfDebugRunner(self.runner, max_rounds=self.self_debug_rounds)
+        debugged = selfdebug.fix_rate(app, queries, model, backend)
+        return {
+            "pass@1": base / len(queries) if queries else 0.0,
+            f"pass@{self.k}": at_k,
+            "self-debug": debugged,
+        }

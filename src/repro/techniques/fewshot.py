@@ -1,0 +1,82 @@
+"""Few-shot example store.
+
+The paper's framework records approved (query, code) pairs so future prompts
+can include worked examples ("record the input/output for future prompt
+enhancements").  The store keeps examples per (application, backend), ranks
+them by simple lexical overlap with the incoming query, and renders the block
+the prompt generator appends.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.utils.validation import require_positive
+
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+def _tokens(text: str) -> set:
+    return set(_TOKEN_PATTERN.findall(text.lower()))
+
+
+@dataclass(frozen=True)
+class StoredExample:
+    """One approved (query, code) pair."""
+
+    query: str
+    code: str
+    application: str
+    backend: str
+
+
+class FewShotExampleStore:
+    """Keep approved examples and select the most relevant ones for a query."""
+
+    def __init__(self, max_examples_per_prompt: int = 3) -> None:
+        require_positive(max_examples_per_prompt, "max_examples_per_prompt")
+        self.max_examples_per_prompt = max_examples_per_prompt
+        self._examples: List[StoredExample] = []
+
+    # ------------------------------------------------------------------
+    def add(self, query: str, code: str, application: str, backend: str) -> StoredExample:
+        """Record one approved example."""
+        example = StoredExample(query=query, code=code, application=application,
+                                backend=backend)
+        self._examples.append(example)
+        return example
+
+    def __len__(self) -> int:
+        return len(self._examples)
+
+    def examples_for(self, application: str, backend: str) -> List[StoredExample]:
+        """All stored examples for one application/backend pair."""
+        return [example for example in self._examples
+                if example.application == application and example.backend == backend]
+
+    # ------------------------------------------------------------------
+    def _similarity(self, query: str, example: StoredExample) -> float:
+        query_tokens = _tokens(query)
+        example_tokens = _tokens(example.query)
+        if not query_tokens or not example_tokens:
+            return 0.0
+        overlap = len(query_tokens & example_tokens)
+        return overlap / len(query_tokens | example_tokens)
+
+    def select(self, query: str, application: str, backend: str) -> List[StoredExample]:
+        """The most relevant stored examples for *query* (highest overlap first)."""
+        candidates = self.examples_for(application, backend)
+        scored: List[Tuple[float, int, StoredExample]] = [
+            (self._similarity(query, example), index, example)
+            for index, example in enumerate(candidates)]
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return [example for score, _, example in scored[: self.max_examples_per_prompt]
+                if score > 0]
+
+    def prompt_examples(self, query: str, application: str, backend: str) -> List[Dict[str, str]]:
+        """Selected examples in the shape the prompt generator expects."""
+        return [{"query": example.query, "code": example.code}
+                for example in self.select(query, application, backend)]

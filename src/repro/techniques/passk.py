@@ -1,0 +1,66 @@
+"""pass@k: sample the model k times and accept if any sample passes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.benchmark.evaluator import EvaluationRecord
+from repro.benchmark.queries import BenchmarkQuery
+from repro.benchmark.runner import BenchmarkRunner
+from repro.core.application import NetworkApplication
+from repro.utils.validation import require_positive
+
+
+@dataclass
+class PassAtKResult:
+    """Outcome of a pass@k evaluation for one query."""
+
+    query_id: str
+    model: str
+    backend: str
+    k: int
+    passed: bool
+    first_passing_attempt: Optional[int] = None    # 1-based
+    attempts: List[EvaluationRecord] = field(default_factory=list)
+
+    @property
+    def total_cost_usd(self) -> float:
+        return sum(record.cost_usd for record in self.attempts)
+
+
+class PassAtKRunner:
+    """Evaluate queries under the pass@k acceptance criterion.
+
+    Deterministic (temperature-0) models return the same answer every time,
+    so their pass@k equals pass@1; non-deterministic models (Bard) can
+    recover on later samples, which is what the paper observed.
+    """
+
+    def __init__(self, runner: BenchmarkRunner, k: int = 5) -> None:
+        require_positive(k, "k")
+        self.runner = runner
+        self.k = k
+
+    def evaluate(self, application: NetworkApplication, query: BenchmarkQuery,
+                 model: str, backend: str) -> PassAtKResult:
+        """Run one query up to k times; stop at the first passing sample."""
+        result = PassAtKResult(query_id=query.query_id, model=model, backend=backend,
+                               k=self.k, passed=False)
+        for attempt in range(self.k):
+            record = self.runner.run_query(application, query, model, backend,
+                                           attempt=attempt)
+            result.attempts.append(record)
+            if record.passed:
+                result.passed = True
+                result.first_passing_attempt = attempt + 1
+                break
+        return result
+
+    def pass_rate(self, application: NetworkApplication,
+                  queries: List[BenchmarkQuery], model: str, backend: str) -> float:
+        """Fraction of *queries* that pass within k samples."""
+        if not queries:
+            return 0.0
+        results = [self.evaluate(application, query, model, backend) for query in queries]
+        return sum(1 for result in results if result.passed) / len(results)

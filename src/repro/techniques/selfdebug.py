@@ -1,0 +1,84 @@
+"""Self-debug: feed the execution error back to the model for another try."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.benchmark.evaluator import EvaluationRecord
+from repro.benchmark.queries import BenchmarkQuery
+from repro.benchmark.runner import BenchmarkRunner
+from repro.core.application import NetworkApplication
+from repro.utils.validation import require_positive
+
+
+@dataclass
+class SelfDebugResult:
+    """Outcome of one self-debug loop for one query."""
+
+    query_id: str
+    model: str
+    backend: str
+    max_rounds: int
+    passed: bool
+    rounds_used: int = 0
+    records: List[EvaluationRecord] = field(default_factory=list)
+
+    @property
+    def total_cost_usd(self) -> float:
+        return sum(record.cost_usd for record in self.records)
+
+
+class SelfDebugRunner:
+    """Evaluate queries with an error-feedback repair loop.
+
+    Round 0 is the normal attempt; each subsequent round sends the previous
+    round's failure description back to the model (the paper uses a single
+    repair round, which is the default here).
+    """
+
+    def __init__(self, runner: BenchmarkRunner, max_rounds: int = 1) -> None:
+        require_positive(max_rounds, "max_rounds")
+        self.runner = runner
+        self.max_rounds = max_rounds
+
+    def _failure_feedback(self, record: EvaluationRecord) -> str:
+        """Render the error message the operator would paste back to the LLM."""
+        parts = [f"The previous code failed at the {record.failure_stage} stage."]
+        if record.failure_reason:
+            parts.append(f"Error: {record.failure_reason}")
+        error_message = record.details.get("error_message")
+        if error_message:
+            parts.append(f"Exception: {error_message}")
+        parts.append("Please fix the code and answer the original request again.")
+        return " ".join(parts)
+
+    def evaluate(self, application: NetworkApplication, query: BenchmarkQuery,
+                 model: str, backend: str) -> SelfDebugResult:
+        """Run one query with up to ``max_rounds`` repair rounds."""
+        result = SelfDebugResult(query_id=query.query_id, model=model, backend=backend,
+                                 max_rounds=self.max_rounds, passed=False)
+        record = self.runner.run_query(application, query, model, backend)
+        result.records.append(record)
+        if record.passed:
+            result.passed = True
+            return result
+        feedback: Optional[str] = self._failure_feedback(record)
+        for round_index in range(1, self.max_rounds + 1):
+            record = self.runner.run_query(application, query, model, backend,
+                                           feedback=feedback)
+            result.records.append(record)
+            result.rounds_used = round_index
+            if record.passed:
+                result.passed = True
+                return result
+            feedback = self._failure_feedback(record)
+        return result
+
+    def fix_rate(self, application: NetworkApplication,
+                 queries: List[BenchmarkQuery], model: str, backend: str) -> float:
+        """Fraction of *queries* that pass after the self-debug loop."""
+        if not queries:
+            return 0.0
+        results = [self.evaluate(application, query, model, backend) for query in queries]
+        return sum(1 for result in results if result.passed) / len(results)

@@ -1,0 +1,44 @@
+"""Network traffic analysis application (paper Section 2.1, first workload).
+
+Traffic dispersion graphs (TDGs) / communication graphs: nodes are network
+endpoints identified by IP address, edges are observed communications
+annotated with byte, connection, and packet counts.  The package provides
+
+* IP addressing helpers (prefix extraction, deterministic address pools),
+* a synthetic flow-log generator and the TDG builder that aggregates flows
+  into a communication graph (the paper evaluates synthetic graphs whose node
+  and edge counts are controlled, so the strawman baseline can be sized
+  against the LLM token limit), and
+* the :class:`TrafficAnalysisApplication` wrapper that plugs the graph into
+  the Figure-2 framework.
+"""
+
+from repro.traffic.addressing import (
+    AddressAllocator,
+    prefix_of,
+    prefix16,
+    prefix24,
+    random_address,
+)
+from repro.traffic.generator import (
+    CommunicationGraphConfig,
+    FlowRecord,
+    generate_communication_graph,
+    generate_flow_log,
+    graph_from_flows,
+)
+from repro.traffic.application import TrafficAnalysisApplication
+
+__all__ = [
+    "AddressAllocator",
+    "prefix_of",
+    "prefix16",
+    "prefix24",
+    "random_address",
+    "CommunicationGraphConfig",
+    "FlowRecord",
+    "generate_communication_graph",
+    "generate_flow_log",
+    "graph_from_flows",
+    "TrafficAnalysisApplication",
+]

@@ -1,0 +1,98 @@
+"""IPv4 addressing helpers for the traffic-analysis application.
+
+Queries in the benchmark reason about address prefixes ("Assign a unique
+color for each /16 IP address prefix", "Add a label to nodes with address
+prefix 15.76"), so the generator and the golden answers share these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.utils.rng import DeterministicRng
+from repro.utils.validation import require
+
+
+def _octets(address: str) -> List[int]:
+    parts = address.split(".")
+    require(len(parts) == 4, f"{address!r} is not a dotted-quad IPv4 address")
+    octets = []
+    for part in parts:
+        require(part.isdigit(), f"{address!r} contains a non-numeric octet")
+        value = int(part)
+        require(0 <= value <= 255, f"octet {value} out of range in {address!r}")
+        octets.append(value)
+    return octets
+
+
+def prefix_of(address: str, prefix_length: int) -> str:
+    """Return the dotted prefix of *address* with *prefix_length* bits.
+
+    Only multiples of 8 are supported (8, 16, 24), which is what the
+    benchmark queries use; the result keeps only the leading octets
+    ("10.24.3.7" with 16 bits -> "10.24").
+    """
+    require(prefix_length in (8, 16, 24, 32),
+            f"prefix_length must be one of 8/16/24/32, got {prefix_length}")
+    octets = _octets(address)
+    keep = prefix_length // 8
+    return ".".join(str(o) for o in octets[:keep])
+
+
+def prefix16(address: str) -> str:
+    """The /16 prefix of an address ("10.24.3.7" -> "10.24")."""
+    return prefix_of(address, 16)
+
+
+def prefix24(address: str) -> str:
+    """The /24 prefix of an address ("10.24.3.7" -> "10.24.3")."""
+    return prefix_of(address, 24)
+
+
+def random_address(rng: DeterministicRng, first_octet: Optional[int] = None,
+                   second_octet: Optional[int] = None) -> str:
+    """Draw a syntactically valid IPv4 address from *rng*."""
+    first = first_octet if first_octet is not None else rng.randint(1, 223)
+    second = second_octet if second_octet is not None else rng.randint(0, 255)
+    return f"{first}.{second}.{rng.randint(0, 255)}.{rng.randint(1, 254)}"
+
+
+class AddressAllocator:
+    """Allocate unique addresses clustered into a configurable number of /16s.
+
+    The benchmark's medium-complexity query groups nodes by /16 prefix, so
+    synthetic graphs need several distinct prefixes with several hosts each.
+    One prefix is pinned to ``15.76`` because the easy-complexity example
+    query labels nodes with that prefix.
+    """
+
+    PINNED_PREFIX = (15, 76)
+
+    def __init__(self, rng: DeterministicRng, prefix_count: int = 4) -> None:
+        require(prefix_count >= 1, "prefix_count must be at least 1")
+        self._rng = rng.fork("addresses")
+        self._allocated: set = set()
+        self._prefixes: List[tuple] = [self.PINNED_PREFIX]
+        while len(self._prefixes) < prefix_count:
+            candidate = (self._rng.randint(1, 223), self._rng.randint(0, 255))
+            if candidate not in self._prefixes:
+                self._prefixes.append(candidate)
+
+    @property
+    def prefixes(self) -> List[str]:
+        """The /16 prefixes managed by this allocator, as dotted strings."""
+        return [f"{a}.{b}" for a, b in self._prefixes]
+
+    def allocate(self) -> str:
+        """Return a previously unallocated address in one of the prefixes."""
+        for _ in range(100_000):
+            first, second = self._prefixes[self._rng.zipf_like(len(self._prefixes), alpha=0.8)]
+            address = random_address(self._rng, first, second)
+            if address not in self._allocated:
+                self._allocated.add(address)
+                return address
+        raise RuntimeError("address space exhausted")
+
+    def allocate_many(self, count: int) -> List[str]:
+        """Allocate *count* distinct addresses."""
+        return [self.allocate() for _ in range(count)]

@@ -1,0 +1,65 @@
+"""Application wrapper for the traffic-analysis workload."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.application import ApplicationContext, NetworkApplication
+from repro.graph import PropertyGraph
+from repro.traffic.generator import CommunicationGraphConfig, generate_communication_graph
+
+
+class TrafficAnalysisApplication(NetworkApplication):
+    """Network traffic analysis over a communication graph.
+
+    The wrapper exposes the communication graph in every backend
+    representation and describes its schema (addresses, device types, byte /
+    connection / packet weights) for the prompt generator.
+    """
+
+    name = "traffic_analysis"
+
+    def __init__(self, graph: Optional[PropertyGraph] = None,
+                 config: Optional[CommunicationGraphConfig] = None) -> None:
+        if graph is None:
+            graph = generate_communication_graph(config)
+        super().__init__(graph)
+
+    @classmethod
+    def with_size(cls, node_count: int, edge_count: int, seed: int = 7) -> "TrafficAnalysisApplication":
+        """Convenience constructor used by the cost/scalability sweep."""
+        config = CommunicationGraphConfig(node_count=node_count, edge_count=edge_count,
+                                          seed=seed)
+        return cls(config=config)
+
+    def context(self) -> ApplicationContext:
+        return ApplicationContext(
+            application_name="Network traffic analysis",
+            application_description=(
+                "The network state is a communication graph (traffic dispersion "
+                "graph). Each node is a network endpoint; each directed edge "
+                "records observed communication from the source endpoint to the "
+                "destination endpoint."),
+            graph_description=self.graph_summary(),
+            node_schema={
+                "address": "IPv4 address of the endpoint (dotted quad string)",
+                "type": "device type: host, router, switch, or server",
+                "name": "human-readable node name",
+            },
+            edge_schema={
+                "bytes": "total bytes transferred over the edge",
+                "connections": "number of connections observed on the edge",
+                "packets": "total packets transferred over the edge",
+            },
+            terminology={
+                "/16 prefix": "the first two octets of an IPv4 address, e.g. '15.76'",
+                "label": "node attributes may be added to annotate nodes, "
+                          "e.g. graph.nodes[n]['app'] = 'production'",
+                "color": "a node attribute named 'color' used for visualization",
+            },
+            example_queries=[
+                "Add a label app:production to nodes with address prefix 15.76",
+                "Assign a unique color for each /16 IP address prefix.",
+                "Calculate total byte weight on each node, cluster them into 5 groups.",
+            ],
+        )

@@ -1,0 +1,30 @@
+"""Shared utilities: deterministic RNG, hashing, table rendering, validation.
+
+These helpers are deliberately dependency-free so that every other subsystem
+(graph substrate, SQL engine, LLM simulator, benchmark runner) can rely on
+them without import cycles.
+"""
+
+from repro.utils.hashing import stable_hash, stable_unit_interval
+from repro.utils.rng import DeterministicRng
+from repro.utils.tables import format_table, format_markdown_table
+from repro.utils.validation import (
+    ValidationError,
+    require,
+    require_type,
+    require_in,
+    require_positive,
+)
+
+__all__ = [
+    "DeterministicRng",
+    "stable_hash",
+    "stable_unit_interval",
+    "format_table",
+    "format_markdown_table",
+    "ValidationError",
+    "require",
+    "require_type",
+    "require_in",
+    "require_positive",
+]

@@ -1,0 +1,39 @@
+"""Lightweight argument-validation helpers used across the library."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Type
+
+
+class ValidationError(ValueError):
+    """Raised when a caller passes an argument the library cannot accept."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_type(value: Any, expected: Type, name: str) -> None:
+    """Require that *value* is an instance of *expected*."""
+    if not isinstance(value, expected):
+        raise ValidationError(
+            f"{name} must be {expected.__name__}, got {type(value).__name__}"
+        )
+
+
+def require_in(value: Any, options: Iterable[Any], name: str) -> None:
+    """Require that *value* is one of *options*."""
+    options = list(options)
+    if value not in options:
+        raise ValidationError(f"{name} must be one of {options!r}, got {value!r}")
+
+
+def require_positive(value: float, name: str, allow_zero: bool = False) -> None:
+    """Require that a numeric *value* is positive (or non-negative)."""
+    if allow_zero:
+        if value < 0:
+            raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    elif value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")

@@ -1,0 +1,234 @@
+"""Tests for the traffic-analysis and MALT application substrates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.application import ApplicationContext
+from repro.malt import (
+    EntityKind,
+    MaltApplication,
+    MaltTopologyConfig,
+    RelationshipKind,
+    generate_malt_topology,
+    paper_scale_topology,
+)
+from repro.malt.generator import (
+    containment_children,
+    containment_parent,
+    entities_of_type,
+    type_counts,
+)
+from repro.malt.schema import describe_schema, entity_kind_names, relationship_kind_names
+from repro.traffic import (
+    AddressAllocator,
+    CommunicationGraphConfig,
+    TrafficAnalysisApplication,
+    generate_communication_graph,
+    generate_flow_log,
+    graph_from_flows,
+    prefix16,
+    prefix24,
+    prefix_of,
+)
+from repro.utils import DeterministicRng
+from repro.utils.validation import ValidationError
+
+
+class TestAddressing:
+    def test_prefix_extraction(self):
+        assert prefix_of("10.24.3.7", 8) == "10"
+        assert prefix16("10.24.3.7") == "10.24"
+        assert prefix24("10.24.3.7") == "10.24.3"
+
+    def test_invalid_address_rejected(self):
+        with pytest.raises(ValidationError):
+            prefix16("not-an-address")
+        with pytest.raises(ValidationError):
+            prefix16("300.1.1.1")
+        with pytest.raises(ValidationError):
+            prefix_of("10.0.0.1", 12)
+
+    def test_allocator_produces_unique_addresses(self):
+        allocator = AddressAllocator(DeterministicRng(3), prefix_count=3)
+        addresses = allocator.allocate_many(100)
+        assert len(set(addresses)) == 100
+
+    def test_allocator_pins_benchmark_prefix(self):
+        allocator = AddressAllocator(DeterministicRng(3), prefix_count=2)
+        assert "15.76" in allocator.prefixes
+
+    def test_allocator_addresses_use_known_prefixes(self):
+        allocator = AddressAllocator(DeterministicRng(1), prefix_count=4)
+        prefixes = set(allocator.prefixes)
+        for address in allocator.allocate_many(50):
+            assert prefix16(address) in prefixes
+
+
+class TestCommunicationGraphGenerator:
+    def test_respects_requested_size(self):
+        graph = generate_communication_graph(node_count=30, edge_count=45, seed=5)
+        assert graph.node_count == 30
+        assert graph.edge_count == 45
+
+    def test_deterministic_for_same_seed(self):
+        first = generate_communication_graph(node_count=20, edge_count=25, seed=9)
+        second = generate_communication_graph(node_count=20, edge_count=25, seed=9)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = generate_communication_graph(node_count=20, edge_count=25, seed=1)
+        second = generate_communication_graph(node_count=20, edge_count=25, seed=2)
+        assert first != second
+
+    def test_edge_weights_in_configured_range(self):
+        config = CommunicationGraphConfig(node_count=20, edge_count=30,
+                                          min_bytes=10, max_bytes=20, seed=3)
+        graph = generate_communication_graph(config)
+        for _, _, attrs in graph.edges(data=True):
+            assert 10 <= attrs["bytes"] <= 20
+            assert attrs["connections"] >= 1
+            assert attrs["packets"] >= 1
+
+    def test_nodes_have_expected_attributes(self):
+        graph = generate_communication_graph(node_count=10, edge_count=12, seed=3)
+        for _, attrs in graph.nodes(data=True):
+            assert set(attrs) >= {"address", "type", "name"}
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_communication_graph(node_count=1, edge_count=1)
+        with pytest.raises(ValidationError):
+            generate_communication_graph(node_count=3, edge_count=100)
+
+    def test_flow_log_aggregates_back_to_graph(self):
+        config = CommunicationGraphConfig(node_count=12, edge_count=15, seed=4)
+        graph = generate_communication_graph(config)
+        flows = generate_flow_log(config, flows_per_edge=3)
+        rebuilt = graph_from_flows(flows)
+        # same totals per (source address, target address) pair
+        def totals(g):
+            result = {}
+            for source, target, attrs in g.edges(data=True):
+                key = (g.node_attributes(source)["address"], g.node_attributes(target)["address"])
+                result[key] = attrs["bytes"]
+            return result
+        assert totals(rebuilt) == totals(graph)
+
+    def test_flow_record_as_dict(self):
+        flows = generate_flow_log(CommunicationGraphConfig(node_count=5, edge_count=5, seed=1),
+                                  flows_per_edge=1)
+        record = flows[0].as_dict()
+        assert set(record) == {"source", "destination", "bytes", "packets",
+                               "connections", "protocol"}
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(5, 40), st.integers(5, 60))
+    def test_generator_size_property(self, nodes, edges):
+        edges = min(edges, nodes * (nodes - 1))
+        graph = generate_communication_graph(node_count=nodes, edge_count=edges, seed=2)
+        assert graph.node_count == nodes
+        assert graph.edge_count == edges
+
+
+class TestTrafficApplication:
+    def test_context_structure(self, traffic_app):
+        context = traffic_app.context()
+        assert isinstance(context, ApplicationContext)
+        assert "bytes" in context.edge_schema
+        rendered = context.render()
+        assert "Network traffic analysis" in rendered
+
+    def test_views(self, traffic_app):
+        nx_graph = traffic_app.networkx_view()
+        nodes_df, edges_df = traffic_app.frame_view()
+        database = traffic_app.sql_view()
+        assert nx_graph.number_of_nodes() == 40
+        assert len(nodes_df) == 40 and len(edges_df) == 40
+        assert database.execute("SELECT COUNT(*) FROM edges").scalar() == 40
+
+    def test_sync_state_records_history(self):
+        application = TrafficAnalysisApplication.with_size(10, 10)
+        updated = application.graph.copy()
+        updated.add_node("new", address="1.2.3.4", type="host")
+        application.sync_state(updated, query="add a node", approved_by="operator")
+        assert application.graph.node_count == 11
+        assert application.history[0]["query"] == "add a node"
+
+
+class TestMaltSchema:
+    def test_kind_names(self):
+        assert "EK_PACKET_SWITCH" in entity_kind_names()
+        assert "RK_CONTAINS" in relationship_kind_names()
+
+    def test_describe_schema_mentions_all_kinds(self):
+        description = describe_schema()
+        for kind in EntityKind:
+            assert kind.value in description
+        for kind in RelationshipKind:
+            assert kind.value in description
+
+
+class TestMaltGenerator:
+    def test_paper_scale_counts(self):
+        graph = paper_scale_topology()
+        assert graph.node_count == 5493
+        assert graph.edge_count == 6424
+
+    def test_expected_counts_match_config(self):
+        config = MaltTopologyConfig()
+        assert config.expected_node_count == 5493
+        assert config.expected_edge_count == 6424
+
+    def test_small_topology_structure(self, malt_app):
+        graph = malt_app.graph
+        counts = type_counts(graph)
+        assert counts["EK_DATACENTER"] == 1
+        assert counts["EK_POD"] == 2
+        assert counts["EK_PACKET_SWITCH"] == 1 * 2 * 2 * 2 * 4
+        assert counts["EK_PORT"] == counts["EK_PACKET_SWITCH"] * 3
+
+    def test_chassis_capacity_is_sum_of_switches(self, malt_app):
+        graph = malt_app.graph
+        for chassis in entities_of_type(graph, "EK_CHASSIS"):
+            switches = containment_children(graph, chassis, "EK_PACKET_SWITCH")
+            total = sum(graph.node_attributes(s)["capacity"] for s in switches)
+            assert graph.node_attributes(chassis)["capacity"] == total
+
+    def test_every_switch_has_one_controller(self, malt_app):
+        graph = malt_app.graph
+        for switch in entities_of_type(graph, "EK_PACKET_SWITCH"):
+            controllers = [p for p in graph.predecessors(switch)
+                           if graph.edge_attributes(p, switch).get("relationship")
+                           == RelationshipKind.CONTROLS.value]
+            assert len(controllers) == 1
+
+    def test_containment_parent(self, malt_app):
+        graph = malt_app.graph
+        assert containment_parent(graph, "ju1.a1.m1.s2c1") == "ju1.a1.m1.c1"
+        assert containment_parent(graph, "wan") is None
+
+    def test_benchmark_switch_exists(self, malt_app):
+        assert malt_app.graph.has_node("ju1.a1.m1.s2c1")
+
+    def test_deterministic(self):
+        config = MaltTopologyConfig(datacenters=1, pods_per_datacenter=1, racks_per_pod=2,
+                                    chassis_per_rack=1, switches_per_chassis=2,
+                                    ports_per_switch=2, control_points=2, port_links=3)
+        assert generate_malt_topology(config) == generate_malt_topology(config)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_malt_topology(MaltTopologyConfig(datacenters=0))
+
+
+class TestMaltApplication:
+    def test_context_mentions_schema(self, malt_app):
+        rendered = malt_app.context().render()
+        assert "EK_PACKET_SWITCH" in rendered
+        assert "RK_CONTAINS" in rendered
+
+    def test_views(self, malt_app):
+        database = malt_app.sql_view()
+        switches = database.execute(
+            "SELECT COUNT(*) FROM nodes WHERE type = 'EK_PACKET_SWITCH'").scalar()
+        assert switches == 32

@@ -1,0 +1,273 @@
+"""Tests for the mini dataframe library (Series, DataFrame, GroupBy)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frames import DataFrame, FrameError, Series, concat
+
+
+def sample_frame() -> DataFrame:
+    return DataFrame({
+        "id": ["a", "b", "c", "d"],
+        "bytes": [100, 50, 10, 50],
+        "type": ["host", "router", "host", "switch"],
+        "address": ["10.0.0.1", "10.0.1.2", "15.76.0.9", "10.0.0.7"],
+    })
+
+
+class TestSeries:
+    def test_comparison_produces_mask(self):
+        series = Series([1, 5, 3])
+        mask = series > 2
+        assert mask.values == [False, True, True]
+
+    def test_arithmetic(self):
+        series = Series([1, 2, 3])
+        assert (series + 1).values == [2, 3, 4]
+        assert (series * 2).values == [2, 4, 6]
+        assert (10 - series).values == [9, 8, 7]
+
+    def test_str_accessor(self):
+        series = Series(["10.0.0.1", "15.76.0.9"])
+        assert series.str.startswith("15.76").values == [False, True]
+        assert series.str.contains("0.0").values == [True, False]
+        assert series.str.split(".").values[0] == ["10", "0", "0", "1"]
+
+    def test_aggregations(self):
+        series = Series([4, 2, 6])
+        assert series.sum() == 12
+        assert series.mean() == 4
+        assert series.min() == 2
+        assert series.max() == 6
+        assert series.idxmax() == 2
+        assert series.nlargest(2).values == [6, 4]
+
+    def test_empty_aggregation_errors(self):
+        with pytest.raises(ValueError):
+            Series([]).mean()
+        with pytest.raises(ValueError):
+            Series([]).max()
+
+    def test_unique_and_value_counts(self):
+        series = Series(["a", "b", "a", "c", "a"])
+        assert series.unique() == ["a", "b", "c"]
+        assert series.nunique() == 3
+        counts = series.value_counts()
+        assert counts.values[0] == 3
+        assert counts.index[0] == "a"
+
+    def test_isin_and_fillna(self):
+        series = Series([1, None, 3])
+        assert series.isin([1, 3]).values == [True, False, True]
+        assert series.fillna(0).values == [1, 0, 3]
+        assert series.isna().values == [False, True, False]
+
+    def test_map_and_astype(self):
+        series = Series(["1", "2"])
+        assert series.astype(int).values == [1, 2]
+        assert series.map(lambda v: v * 2).values == ["11", "22"]
+
+    def test_logical_operators(self):
+        left = Series([True, False, True])
+        right = Series([True, True, False])
+        assert (left & right).values == [True, False, False]
+        assert (left | right).values == [True, True, True]
+        assert (~left).values == [False, True, False]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Series([1, 2]) + Series([1, 2, 3])
+
+
+class TestDataFrame:
+    def test_construction_and_shape(self):
+        frame = sample_frame()
+        assert frame.shape == (4, 4)
+        assert frame.columns == ["id", "bytes", "type", "address"]
+        assert not frame.empty
+
+    def test_unequal_columns_rejected(self):
+        with pytest.raises(FrameError):
+            DataFrame({"a": [1, 2], "b": [1]})
+
+    def test_from_records_union_of_keys(self):
+        frame = DataFrame.from_records([{"a": 1}, {"b": 2}])
+        assert frame.columns == ["a", "b"]
+        assert frame.row(0) == {"a": 1, "b": None}
+
+    def test_column_access(self):
+        frame = sample_frame()
+        assert frame["bytes"].values == [100, 50, 10, 50]
+        with pytest.raises(FrameError):
+            frame["missing"]
+
+    def test_multi_column_selection(self):
+        frame = sample_frame()[["id", "bytes"]]
+        assert frame.columns == ["id", "bytes"]
+
+    def test_boolean_mask_selection(self):
+        frame = sample_frame()
+        heavy = frame[frame["bytes"] >= 50]
+        assert len(heavy) == 3
+        assert heavy["id"].values == ["a", "b", "d"]
+
+    def test_setitem_scalar_and_series(self):
+        frame = sample_frame()
+        frame["flag"] = True
+        assert frame["flag"].values == [True] * 4
+        frame["double"] = frame["bytes"] * 2
+        assert frame["double"].values == [200, 100, 20, 100]
+
+    def test_sort_values(self):
+        frame = sample_frame().sort_values("bytes", ascending=False)
+        assert frame["id"].values == ["a", "b", "d", "c"]
+
+    def test_sort_values_multiple_keys(self):
+        frame = sample_frame().sort_values(["bytes", "id"], ascending=[False, True])
+        assert frame["id"].values == ["a", "b", "d", "c"]
+
+    def test_sort_unknown_column(self):
+        with pytest.raises(FrameError):
+            sample_frame().sort_values("nope")
+
+    def test_head_tail_copy(self):
+        frame = sample_frame()
+        assert len(frame.head(2)) == 2
+        assert frame.tail(1)["id"].values == ["d"]
+        copied = frame.copy()
+        copied["bytes"] = 0
+        assert frame["bytes"].values[0] == 100
+
+    def test_drop_and_rename(self):
+        frame = sample_frame().drop("address").rename({"bytes": "volume"})
+        assert "address" not in frame.columns
+        assert "volume" in frame.columns
+
+    def test_assign_with_callable(self):
+        frame = sample_frame().assign(kb=lambda f: [b / 1000 for b in f["bytes"].values])
+        assert frame["kb"].values[0] == 0.1
+
+    def test_drop_duplicates(self):
+        frame = DataFrame({"a": [1, 1, 2], "b": ["x", "x", "y"]})
+        assert len(frame.drop_duplicates()) == 2
+        assert len(frame.drop_duplicates(subset=["a"])) == 2
+
+    def test_merge_inner(self):
+        left = DataFrame({"key": ["a", "b"], "left_value": [1, 2]})
+        right = DataFrame({"key": ["b", "c"], "right_value": [3, 4]})
+        merged = left.merge(right, on="key")
+        assert len(merged) == 1
+        assert merged.row(0) == {"key": "b", "left_value": 2, "right_value": 3}
+
+    def test_merge_left(self):
+        left = DataFrame({"key": ["a", "b"], "left_value": [1, 2]})
+        right = DataFrame({"key": ["b"], "right_value": [3]})
+        merged = left.merge(right, on="key", how="left")
+        assert len(merged) == 2
+        assert merged.row(0)["right_value"] is None
+
+    def test_merge_overlapping_columns_get_suffixes(self):
+        left = DataFrame({"key": ["a"], "value": [1]})
+        right = DataFrame({"key": ["a"], "value": [2]})
+        merged = left.merge(right, on="key")
+        assert set(merged.columns) == {"key", "value_x", "value_y"}
+
+    def test_merge_missing_key_rejected(self):
+        with pytest.raises(FrameError):
+            DataFrame({"a": [1]}).merge(DataFrame({"b": [1]}), on="a")
+
+    def test_nlargest_nsmallest(self):
+        frame = sample_frame()
+        assert frame.nlargest(1, "bytes")["id"].values == ["a"]
+        assert frame.nsmallest(1, "bytes")["id"].values == ["c"]
+
+    def test_filter_rows_and_apply_rows(self):
+        frame = sample_frame().filter_rows(lambda row: row["type"] == "host")
+        assert len(frame) == 2
+        enriched = frame.apply_rows(lambda row: row["bytes"] * 2, "double")
+        assert enriched["double"].values == [200, 20]
+
+    def test_concat(self):
+        combined = concat([sample_frame().head(1), sample_frame().tail(1)])
+        assert len(combined) == 2
+
+    def test_equals(self):
+        assert sample_frame().equals(sample_frame())
+        assert not sample_frame().equals(sample_frame().head(2))
+
+
+class TestGroupBy:
+    def test_agg_sum(self):
+        frame = sample_frame()
+        grouped = frame.groupby("type").agg({"bytes": "sum"})
+        as_dict = dict(zip(grouped["type"].values, grouped["bytes"].values))
+        assert as_dict == {"host": 110, "router": 50, "switch": 50}
+
+    def test_series_groupby_shortcut(self):
+        grouped = sample_frame().groupby("type")["bytes"].sum()
+        as_dict = dict(zip(grouped["type"].values, grouped["bytes"].values))
+        assert as_dict["host"] == 110
+
+    def test_size(self):
+        sizes = sample_frame().groupby("type").size()
+        as_dict = dict(zip(sizes["type"].values, sizes["size"].values))
+        assert as_dict == {"host": 2, "router": 1, "switch": 1}
+
+    def test_iteration_and_apply(self):
+        groups = dict(iter(sample_frame().groupby("type")))
+        assert set(groups) == {"host", "router", "switch"}
+        applied = sample_frame().groupby("type").apply(len)
+        assert applied["host"] == 2
+
+    def test_agg_with_callable(self):
+        grouped = sample_frame().groupby("type").agg({"bytes": lambda s: s.max() - s.min()})
+        as_dict = dict(zip(grouped["type"].values, grouped["bytes"].values))
+        assert as_dict["host"] == 90
+
+    def test_unknown_aggregation_rejected(self):
+        with pytest.raises(FrameError):
+            sample_frame().groupby("type").agg({"bytes": "median"})
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(FrameError):
+            sample_frame().groupby("missing")
+
+
+# ---------------------------------------------------------------------------
+# property-based checks against plain-Python reference implementations
+# ---------------------------------------------------------------------------
+values_strategy = st.lists(st.integers(-1000, 1000), min_size=1, max_size=50)
+
+
+@settings(max_examples=50, deadline=None)
+@given(values_strategy)
+def test_series_sum_matches_python(values):
+    assert Series(values).sum() == sum(values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(values_strategy, st.integers(-1000, 1000))
+def test_mask_matches_filter(values, threshold):
+    frame = DataFrame({"v": values})
+    selected = frame[frame["v"] > threshold]["v"].values
+    assert selected == [v for v in values if v > threshold]
+
+
+@settings(max_examples=50, deadline=None)
+@given(values_strategy)
+def test_sort_values_matches_sorted(values):
+    frame = DataFrame({"v": values}).sort_values("v")
+    assert frame["v"].values == sorted(values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from("abc"), st.integers(0, 100)),
+                min_size=1, max_size=40))
+def test_groupby_sum_matches_manual(pairs):
+    frame = DataFrame({"key": [k for k, _ in pairs], "value": [v for _, v in pairs]})
+    grouped = frame.groupby("key")["value"].sum()
+    expected = {}
+    for key, value in pairs:
+        expected[key] = expected.get(key, 0) + value
+    actual = dict(zip(grouped["key"].values, grouped["value"].values))
+    assert actual == expected

@@ -1,0 +1,126 @@
+"""Tests for the execution sandbox (policy checks and restricted execution)."""
+
+import pytest
+
+from repro.sandbox import (
+    ExecutionSandbox,
+    PolicyViolation,
+    SandboxPolicy,
+    validate_source,
+)
+
+
+class TestPolicy:
+    def test_allows_whitelisted_imports(self):
+        validate_source("import networkx as nx\nimport math\n")
+
+    def test_rejects_os_import(self):
+        with pytest.raises(PolicyViolation):
+            validate_source("import os")
+
+    def test_rejects_from_import_of_forbidden_module(self):
+        with pytest.raises(PolicyViolation):
+            validate_source("from subprocess import run")
+
+    def test_rejects_forbidden_calls(self):
+        for snippet in ("open('/etc/passwd')", "eval('1+1')", "exec('x=1')",
+                        "__import__('os')"):
+            with pytest.raises(PolicyViolation):
+                validate_source(snippet)
+
+    def test_rejects_dunder_escape_attempts(self):
+        with pytest.raises(PolicyViolation):
+            validate_source("().__class__.__bases__")
+        with pytest.raises(PolicyViolation):
+            validate_source("x = __builtins__")
+
+    def test_rejects_global_statement(self):
+        with pytest.raises(PolicyViolation):
+            validate_source("def f():\n    global x\n    x = 1\n")
+
+    def test_rejects_overlong_source(self):
+        policy = SandboxPolicy(max_source_lines=3)
+        with pytest.raises(PolicyViolation):
+            validate_source("x = 1\n" * 10, policy)
+
+    def test_syntax_error_propagates(self):
+        with pytest.raises(SyntaxError):
+            validate_source("def broken(:")
+
+    def test_with_extra_imports(self):
+        policy = SandboxPolicy().with_extra_imports("scipy")
+        validate_source("import scipy", policy)
+        with pytest.raises(PolicyViolation):
+            validate_source("import scipy")
+
+
+class TestExecutionSandbox:
+    def test_captures_result_variable(self):
+        outcome = ExecutionSandbox().execute("result = 2 + 3", {})
+        assert outcome.success
+        assert outcome.result == 5
+
+    def test_namespace_objects_are_usable(self):
+        outcome = ExecutionSandbox().execute("result = sum(values)", {"values": [1, 2, 3]})
+        assert outcome.result == 6
+
+    def test_namespace_mutations_visible(self):
+        outcome = ExecutionSandbox().execute("data['x'] = 1", {"data": {}})
+        assert outcome.namespace["data"] == {"x": 1}
+
+    def test_stdout_captured(self):
+        outcome = ExecutionSandbox().execute("print('hello')\nresult = 1", {})
+        assert "hello" in outcome.stdout
+
+    def test_syntax_error_reported(self):
+        outcome = ExecutionSandbox().execute("for x in (:", {})
+        assert outcome.failed
+        assert outcome.error_type == "SyntaxError"
+        assert "line" in outcome.error_message
+
+    def test_runtime_error_reported(self):
+        outcome = ExecutionSandbox().execute("result = {}['missing']", {})
+        assert outcome.failed
+        assert outcome.error_type == "KeyError"
+
+    def test_policy_violation_reported(self):
+        outcome = ExecutionSandbox().execute("import os\nresult = 1", {})
+        assert outcome.failed
+        assert outcome.error_type == "PolicyViolation"
+
+    def test_import_of_allowed_module_works(self):
+        outcome = ExecutionSandbox().execute(
+            "import math\nresult = math.sqrt(16)", {})
+        assert outcome.result == 4
+
+    def test_runtime_import_block_without_static_validation(self):
+        # even with static validation disabled, the restricted __import__ blocks it
+        outcome = ExecutionSandbox().execute("import os\nresult = 1", {}, validate=False)
+        assert outcome.failed
+        assert outcome.error_type == "PolicyViolation"
+
+    def test_timeout_enforced(self):
+        policy = SandboxPolicy(max_seconds=0.2)
+        outcome = ExecutionSandbox(policy).execute("while True:\n    pass\n", {})
+        assert outcome.failed
+        assert outcome.error_type == "SandboxTimeout"
+
+    def test_networkx_code_runs(self):
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_edge("a", "b", bytes=10)
+        outcome = ExecutionSandbox().execute(
+            "result = sum(d['bytes'] for _, _, d in G.edges(data=True))", {"G": graph})
+        assert outcome.result == 10
+
+    def test_describe_error(self):
+        outcome = ExecutionSandbox().execute("result = 1/0", {})
+        assert "ZeroDivisionError" in outcome.describe_error()
+        ok = ExecutionSandbox().execute("result = 1", {})
+        assert ok.describe_error() == ""
+
+    def test_custom_result_variable(self):
+        sandbox = ExecutionSandbox(result_variable="answer")
+        outcome = sandbox.execute("answer = 7", {})
+        assert outcome.result == 7

@@ -1,0 +1,292 @@
+"""Tests for the in-memory SQL engine (lexer, parser, executor)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlengine import (
+    Database,
+    SqlExecutionError,
+    SqlSyntaxError,
+    Token,
+    TokenType,
+    parse_statement,
+    tokenize,
+)
+from repro.sqlengine.ast_nodes import SelectStatement, UpdateStatement
+
+
+def sample_database() -> Database:
+    database = Database("test")
+    database.create_table("nodes", ["id", "address", "type", "capacity"], [
+        {"id": "a", "address": "10.0.0.1", "type": "host", "capacity": 10},
+        {"id": "b", "address": "10.0.1.2", "type": "router", "capacity": 40},
+        {"id": "c", "address": "15.76.0.9", "type": "host", "capacity": 20},
+    ])
+    database.create_table("edges", ["source", "target", "bytes"], [
+        {"source": "a", "target": "b", "bytes": 100},
+        {"source": "b", "target": "a", "bytes": 50},
+        {"source": "b", "target": "c", "bytes": 10},
+        {"source": "c", "target": "b", "bytes": 30},
+    ])
+    return database
+
+
+class TestLexer:
+    def test_tokenizes_keywords_and_identifiers(self):
+        tokens = tokenize("SELECT id FROM nodes")
+        kinds = [token.type for token in tokens]
+        assert kinds[:4] == [TokenType.KEYWORD, TokenType.IDENTIFIER,
+                             TokenType.KEYWORD, TokenType.IDENTIFIER]
+        assert kinds[-1] is TokenType.END
+
+    def test_string_literal_with_escaped_quote(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert tokens[1].value == "it's"
+
+    def test_numbers(self):
+        tokens = tokenize("SELECT 42, 3.5")
+        assert tokens[1].value == 42
+        assert tokens[3].value == 3.5
+
+    def test_comment_skipped(self):
+        tokens = tokenize("SELECT 1 -- trailing comment\n")
+        assert all(token.type is not TokenType.IDENTIFIER for token in tokens)
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT 'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT #")
+
+    def test_matches_keyword_helper(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.matches_keyword("SELECT", "INSERT")
+        assert not token.matches_keyword("UPDATE")
+
+
+class TestParser:
+    def test_select_structure(self):
+        statement = parse_statement(
+            "SELECT type, COUNT(*) AS n FROM nodes WHERE capacity > 5 "
+            "GROUP BY type HAVING COUNT(*) > 0 ORDER BY n DESC LIMIT 3")
+        assert isinstance(statement, SelectStatement)
+        assert len(statement.items) == 2
+        assert statement.where is not None
+        assert statement.group_by and statement.having is not None
+        assert statement.limit == 3
+        assert statement.order_by[0].ascending is False
+
+    def test_join_parsing(self):
+        statement = parse_statement(
+            "SELECT n.id FROM edges JOIN nodes n ON source = n.id")
+        assert len(statement.joins) == 1
+        assert statement.joins[0].table.alias == "n"
+
+    def test_update_parsing(self):
+        statement = parse_statement("UPDATE nodes SET capacity = 5 WHERE id = 'a'")
+        assert isinstance(statement, UpdateStatement)
+        assert statement.assignments[0][0] == "capacity"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT 1 GARBAGE TOKENS HERE extra")
+
+    def test_unbalanced_parenthesis_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT id FROM nodes WHERE (capacity > 5")
+
+    def test_unsupported_statement_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("CREATE TABLE t (x)")
+
+
+class TestSelectExecution:
+    def test_count_star(self):
+        assert sample_database().execute("SELECT COUNT(*) FROM nodes").scalar() == 3
+
+    def test_projection_and_where(self):
+        result = sample_database().execute(
+            "SELECT id FROM nodes WHERE type = 'host' ORDER BY id")
+        assert result.column() == ["a", "c"]
+
+    def test_like(self):
+        result = sample_database().execute(
+            "SELECT id FROM nodes WHERE address LIKE '10.0%' ORDER BY id")
+        assert result.column() == ["a", "b"]
+
+    def test_arithmetic_and_alias(self):
+        result = sample_database().execute("SELECT capacity * 2 AS doubled FROM nodes ORDER BY doubled")
+        assert result.column("doubled") == [20, 40, 80]
+
+    def test_aggregates(self):
+        database = sample_database()
+        assert database.execute("SELECT SUM(bytes) FROM edges").scalar() == 190
+        assert database.execute("SELECT AVG(capacity) FROM nodes").scalar() == pytest.approx(70 / 3)
+        assert database.execute("SELECT MAX(bytes) FROM edges").scalar() == 100
+        assert database.execute("SELECT MIN(bytes) FROM edges").scalar() == 10
+
+    def test_group_by_with_order_and_having(self):
+        result = sample_database().execute(
+            "SELECT source, SUM(bytes) AS total FROM edges GROUP BY source "
+            "HAVING SUM(bytes) > 20 ORDER BY total DESC")
+        assert result.to_records() == [
+            {"source": "a", "total": 100},
+            {"source": "b", "total": 60},
+            {"source": "c", "total": 30},
+        ]
+
+    def test_join_with_qualified_columns(self):
+        result = sample_database().execute(
+            "SELECT n1.address AS src, n2.address AS dst FROM edges "
+            "JOIN nodes n1 ON source = n1.id JOIN nodes n2 ON target = n2.id "
+            "WHERE bytes > 40 ORDER BY src")
+        assert result.to_records() == [
+            {"src": "10.0.0.1", "dst": "10.0.1.2"},
+            {"src": "10.0.1.2", "dst": "10.0.0.1"},
+        ]
+
+    def test_left_join_produces_nulls(self):
+        database = sample_database()
+        database.create_table("labels", ["id", "label"], [{"id": "a", "label": "prod"}])
+        result = database.execute(
+            "SELECT nodes.id AS id, label FROM nodes LEFT JOIN labels ON nodes.id = labels.id "
+            "ORDER BY id")
+        assert result.to_records()[1]["label"] is None
+
+    def test_distinct_and_in(self):
+        result = sample_database().execute(
+            "SELECT DISTINCT type FROM nodes WHERE type IN ('host', 'router') ORDER BY type")
+        assert result.column() == ["host", "router"]
+
+    def test_between_and_case(self):
+        result = sample_database().execute(
+            "SELECT id, CASE WHEN capacity BETWEEN 15 AND 45 THEN 'mid' ELSE 'other' END AS bucket "
+            "FROM nodes ORDER BY id")
+        assert [row["bucket"] for row in result.rows] == ["other", "mid", "mid"]
+
+    def test_select_without_from(self):
+        assert sample_database().execute("SELECT 2 + 3 AS v").scalar() == 5
+
+    def test_count_distinct(self):
+        assert sample_database().execute("SELECT COUNT(DISTINCT type) FROM nodes").scalar() == 2
+
+    def test_limit_and_order_by_position(self):
+        result = sample_database().execute("SELECT id, capacity FROM nodes ORDER BY 2 DESC LIMIT 1")
+        assert result.rows[0]["id"] == "b"
+
+    def test_unknown_table(self):
+        with pytest.raises(SqlExecutionError):
+            sample_database().execute("SELECT * FROM missing")
+
+    def test_unknown_column(self):
+        with pytest.raises(SqlExecutionError):
+            sample_database().execute("SELECT nonexistent FROM nodes")
+
+    def test_division_by_zero(self):
+        with pytest.raises(SqlExecutionError):
+            sample_database().execute("SELECT capacity / 0 FROM nodes")
+
+    def test_select_star(self):
+        result = sample_database().execute("SELECT * FROM nodes WHERE id = 'a'")
+        assert result.rows[0]["address"] == "10.0.0.1"
+        assert set(result.columns) == {"id", "address", "type", "capacity"}
+
+
+class TestMutationStatements:
+    def test_insert(self):
+        database = sample_database()
+        database.execute("INSERT INTO nodes (id, address, type, capacity) "
+                         "VALUES ('d', '10.9.9.9', 'switch', 5)")
+        assert database.execute("SELECT COUNT(*) FROM nodes").scalar() == 4
+
+    def test_insert_arity_mismatch(self):
+        with pytest.raises(SqlExecutionError):
+            sample_database().execute("INSERT INTO nodes (id, address) VALUES ('x')")
+
+    def test_update_with_where(self):
+        database = sample_database()
+        database.execute("UPDATE nodes SET capacity = capacity + 1 WHERE type = 'host'")
+        result = database.execute("SELECT capacity FROM nodes WHERE id = 'a'")
+        assert result.scalar() == 11
+
+    def test_update_unknown_column(self):
+        with pytest.raises(SqlExecutionError):
+            sample_database().execute("UPDATE nodes SET nope = 1")
+
+    def test_delete(self):
+        database = sample_database()
+        database.execute("DELETE FROM edges WHERE bytes < 40")
+        assert database.execute("SELECT COUNT(*) FROM edges").scalar() == 2
+
+    def test_delete_all(self):
+        database = sample_database()
+        database.execute("DELETE FROM edges")
+        assert len(database.table("edges")) == 0
+
+
+class TestDatabaseApi:
+    def test_duplicate_table_rejected(self):
+        database = sample_database()
+        with pytest.raises(SqlExecutionError):
+            database.create_table("nodes", ["id"])
+
+    def test_drop_table(self):
+        database = sample_database()
+        database.drop_table("edges")
+        assert not database.has_table("edges")
+        with pytest.raises(SqlExecutionError):
+            database.drop_table("edges")
+
+    def test_copy_is_independent(self):
+        database = sample_database()
+        duplicate = database.copy()
+        duplicate.execute("DELETE FROM edges")
+        assert database.execute("SELECT COUNT(*) FROM edges").scalar() == 4
+
+    def test_insert_rejects_unknown_columns(self):
+        with pytest.raises(SqlExecutionError):
+            sample_database().table("nodes").insert({"bogus": 1})
+
+    def test_schema_description(self):
+        description = sample_database().schema_description()
+        assert "TABLE nodes" in description and "TABLE edges" in description
+
+    def test_scalar_requires_1x1(self):
+        with pytest.raises(SqlExecutionError):
+            sample_database().execute("SELECT id FROM nodes").scalar()
+
+
+# ---------------------------------------------------------------------------
+# property-based: WHERE filtering matches a plain-Python filter
+# ---------------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=30),
+       st.integers(-100, 100))
+def test_where_filter_matches_python(values, threshold):
+    database = Database("prop")
+    database.create_table("t", ["v"], [{"v": value} for value in values])
+    result = database.execute(f"SELECT v FROM t WHERE v > {threshold}")
+    assert sorted(result.column()) == sorted(v for v in values if v > threshold)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=30))
+def test_sum_matches_python(values):
+    database = Database("prop")
+    database.create_table("t", ["v"], [{"v": value} for value in values])
+    assert database.execute("SELECT SUM(v) FROM t").scalar() == sum(values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from("xyz"), st.integers(0, 50)),
+                min_size=1, max_size=30))
+def test_group_by_matches_python(pairs):
+    database = Database("prop")
+    database.create_table("t", ["k", "v"], [{"k": k, "v": v} for k, v in pairs])
+    result = database.execute("SELECT k, SUM(v) AS total FROM t GROUP BY k")
+    expected = {}
+    for key, value in pairs:
+        expected[key] = expected.get(key, 0) + value
+    assert {row["k"]: row["total"] for row in result.rows} == expected

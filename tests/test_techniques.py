@@ -1,0 +1,148 @@
+"""Tests for complementary synthesis techniques (pass@k, self-debug,
+execution-consistency selection, few-shot store, and the Table-6 case study)."""
+
+import pytest
+
+from repro.benchmark import BenchmarkRunner
+from repro.benchmark.queries import query_by_id
+from repro.llm import create_provider
+from repro.techniques import (
+    ExecutionConsistencySelector,
+    FewShotExampleStore,
+    ImprovementCaseStudy,
+    PassAtKRunner,
+    SelfDebugRunner,
+)
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def runner(small_benchmark_config):
+    return BenchmarkRunner(small_benchmark_config)
+
+
+@pytest.fixture(scope="module")
+def malt_application(small_benchmark_config):
+    return small_benchmark_config.malt_application()
+
+
+class TestPassAtK:
+    def test_passing_query_stops_after_first_attempt(self, runner, malt_application):
+        result = PassAtKRunner(runner, k=5).evaluate(
+            malt_application, query_by_id("malt-e1"), "bard", "networkx")
+        assert result.passed
+        assert result.first_passing_attempt == 1
+        assert len(result.attempts) == 1
+
+    def test_bard_recovers_on_later_attempt(self, runner, malt_application):
+        # malt-m2 fails for Bard at pass@1 but recovers within 5 samples
+        result = PassAtKRunner(runner, k=5).evaluate(
+            malt_application, query_by_id("malt-m2"), "bard", "networkx")
+        assert result.passed
+        assert result.first_passing_attempt > 1
+
+    def test_deterministic_model_does_not_recover(self, runner, malt_application):
+        # GPT-4 at temperature 0 returns the same faulty answer every time
+        result = PassAtKRunner(runner, k=3).evaluate(
+            malt_application, query_by_id("malt-h2"), "gpt-4", "networkx")
+        assert not result.passed
+        assert len(result.attempts) == 3
+        assert result.total_cost_usd > 0
+
+    def test_invalid_k_rejected(self, runner):
+        with pytest.raises(ValidationError):
+            PassAtKRunner(runner, k=0)
+
+
+class TestSelfDebug:
+    def test_fixes_a_recoverable_failure(self, runner, malt_application):
+        debugger = SelfDebugRunner(runner, max_rounds=1)
+        queries = [query_by_id("malt-m2"), query_by_id("malt-m3"),
+                   query_by_id("malt-e3"), query_by_id("malt-h2"), query_by_id("malt-h3")]
+        rate = debugger.fix_rate(malt_application, queries, "bard", "networkx")
+        assert 0.0 < rate < 1.0
+
+    def test_pass_on_first_round_uses_no_feedback(self, runner, malt_application):
+        debugger = SelfDebugRunner(runner, max_rounds=1)
+        result = debugger.evaluate(malt_application, query_by_id("malt-e1"),
+                                   "bard", "networkx")
+        assert result.passed and result.rounds_used == 0
+
+    def test_feedback_mentions_error(self, runner, malt_application):
+        debugger = SelfDebugRunner(runner, max_rounds=1)
+        record = runner.run_query(malt_application, query_by_id("malt-h2"), "gpt-4", "networkx")
+        feedback = debugger._failure_feedback(record)
+        assert "failed" in feedback
+        assert record.failure_stage in feedback
+
+
+class TestSelection:
+    def test_selects_consistent_answer(self, malt_application):
+        selector = ExecutionConsistencySelector(
+            malt_application, create_provider("gpt-4"), "networkx", samples=3)
+        outcome = selector.select("How many packet switches are in the topology?")
+        assert outcome.selected is not None
+        assert outcome.agreement == 3
+        assert outcome.selected.result_value == 32
+
+    def test_all_samples_failing(self, traffic_app):
+        selector = ExecutionConsistencySelector(
+            traffic_app, create_provider("gpt-4"), "networkx", samples=2)
+        # a query the synthesizer cannot express -> every sample is faulty code
+        outcome = selector.select("Translate this network topology into French prose")
+        assert outcome.selected is None or outcome.agreement <= 2
+
+    def test_invalid_sample_count(self, traffic_app):
+        with pytest.raises(ValidationError):
+            ExecutionConsistencySelector(traffic_app, create_provider("gpt-4"),
+                                         "networkx", samples=0)
+
+
+class TestFewShotStore:
+    def test_selects_most_similar_example(self):
+        store = FewShotExampleStore(max_examples_per_prompt=2)
+        store.add("How many nodes are in the graph?", "result = G.number_of_nodes()",
+                  "traffic_analysis", "networkx")
+        store.add("Remove light edges", "G.remove_edges_from([])",
+                  "traffic_analysis", "networkx")
+        store.add("irrelevant", "x", "malt", "networkx")
+        selected = store.select("How many nodes does the communication graph have?",
+                                "traffic_analysis", "networkx")
+        assert selected
+        assert selected[0].code == "result = G.number_of_nodes()"
+
+    def test_prompt_examples_shape(self):
+        store = FewShotExampleStore()
+        store.add("count nodes", "result = 1", "traffic_analysis", "networkx")
+        examples = store.prompt_examples("count nodes please", "traffic_analysis", "networkx")
+        assert examples == [{"query": "count nodes", "code": "result = 1"}]
+
+    def test_backend_isolation(self):
+        store = FewShotExampleStore()
+        store.add("count nodes", "SELECT COUNT(*) FROM nodes", "traffic_analysis", "sql")
+        assert store.select("count nodes", "traffic_analysis", "networkx") == []
+        assert len(store) == 1
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValidationError):
+            FewShotExampleStore(max_examples_per_prompt=0)
+
+
+class TestImprovementCaseStudy:
+    @pytest.fixture(scope="class")
+    def study(self, small_benchmark_config):
+        return ImprovementCaseStudy(small_benchmark_config, k=5)
+
+    def test_table6_reproduction(self, study):
+        overall = study.overall_accuracy_with_techniques("malt", "bard", "networkx")
+        assert overall["pass@1"] == pytest.approx(4 / 9)       # paper: 0.44
+        assert overall["pass@5"] == pytest.approx(1.0)          # paper: 1.0
+        assert overall["self-debug"] == pytest.approx(2 / 3)    # paper: 0.67
+
+    def test_failing_query_study(self, study):
+        report = study.run("malt", "bard", "networkx")
+        assert report.pass_at_1 == 0.0
+        assert report.pass_at_k == 1.0
+        assert 0.0 < report.self_debug <= 1.0
+        assert report.studied_queries
+        assert "Pass@5" in report.render()
