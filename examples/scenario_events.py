@@ -1,0 +1,36 @@
+"""Scenarios: topology families, dynamic events, and NL queries on top.
+
+Replays a built-in WAN fiber-cut scenario (watch the snapshot digests
+change), then builds the traffic-analysis application from a flash-crowd
+scenario and asks a natural-language question about the post-surge network —
+the full pipeline over a dynamically-evolved state.
+
+Run with:  python examples/scenario_events.py
+"""
+
+from repro.core import NetworkManagementPipeline
+from repro.llm import create_provider
+from repro.scenarios import get_scenario, replay_scenario
+from repro.traffic import TrafficAnalysisApplication
+
+
+def main() -> None:
+    spec = get_scenario("wan-fiber-cut")
+    print(f"Scenario: {spec.name} — {spec.description}")
+    timeline = replay_scenario(spec)
+    print(timeline.summary())
+    print()
+
+    application = TrafficAnalysisApplication.from_scenario("traffic-flashcrowd")
+    pipeline = NetworkManagementPipeline(application, create_provider("gpt-4"),
+                                         backend="networkx")
+    query = "Find the top 3 nodes by total outgoing bytes and return their addresses."
+    print("=" * 72)
+    print(f"Operator query (post flash crowd): {query}")
+    result = pipeline.run_query(query)
+    print(result.code)
+    print(f"-> {result.result_value}")
+
+
+if __name__ == "__main__":
+    main()

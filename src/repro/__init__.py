@@ -11,11 +11,13 @@ The package layers, bottom-up:
   (safe execution), :mod:`repro.core` (the Figure-2 framework);
 * evaluation: :mod:`repro.benchmark` (the NeMoEval benchmark),
   :mod:`repro.techniques` (pass@k, self-debug, selection), and
-  :mod:`repro.cost` (cost/scalability analysis).
+  :mod:`repro.cost` (cost/scalability analysis);
+* scenario diversity: :mod:`repro.scenarios` (structured topology families,
+  declarative scenario specs, and the dynamic-event engine).
 
 See ``DESIGN.md`` for the full system inventory and the experiment index.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -8,6 +8,7 @@ runner evaluates the same query against four models and four backends.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
@@ -38,13 +39,20 @@ class GoldenAnswerSelector:
     """Compute (and cache) golden answers for benchmark queries."""
 
     def __init__(self) -> None:
-        self._cache: Dict[Tuple[str, int], GoldenAnswer] = {}
+        # the cache key uses id(graph), but a garbage-collected graph's
+        # address can be reused by a *different* graph (seen in
+        # multi-scenario sweeps), which would silently serve a stale golden.
+        # The weakref identity check rejects such recycled-address hits
+        # without keeping every queried graph alive for the cache's lifetime.
+        self._cache: Dict[Tuple[str, int],
+                          Tuple["weakref.ref[PropertyGraph]", GoldenAnswer]] = {}
 
     def golden_for(self, query: BenchmarkQuery, graph: PropertyGraph) -> GoldenAnswer:
         """The golden outcome of *query* evaluated on *graph*."""
         cache_key = (query.query_id, id(graph))
-        if cache_key in self._cache:
-            return self._cache[cache_key]
+        cached = self._cache.get(cache_key)
+        if cached is not None and cached[0]() is graph:
+            return cached[1]
         outcome: ReferenceOutcome = evaluate_reference(graph, query.intent)
         golden = GoldenAnswer(
             query_id=query.query_id,
@@ -52,7 +60,7 @@ class GoldenAnswerSelector:
             value=outcome.value,
             graph=outcome.graph,
         )
-        self._cache[cache_key] = golden
+        self._cache[cache_key] = (weakref.ref(graph), golden)
         return golden
 
     def expected_graph(self, golden: GoldenAnswer,

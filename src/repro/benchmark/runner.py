@@ -175,3 +175,47 @@ class BenchmarkRunner:
             "traffic_analysis": self.run_application("traffic_analysis"),
             "malt": self.run_application("malt"),
         }
+
+    # ------------------------------------------------------------------
+    # scenario sweeps
+    # ------------------------------------------------------------------
+    def run_scenario(self, spec, models: Optional[Sequence[str]] = None,
+                     backends: Sequence[str] = ("networkx",),
+                     queries: Optional[Sequence[BenchmarkQuery]] = None) -> AccuracyReport:
+        """Run the query corpus against one scenario's replayed network state.
+
+        The scenario (a :class:`repro.scenarios.ScenarioSpec` or a registered
+        scenario name) is replayed through the event engine; the resulting
+        graph becomes the application under test.  MALT-family scenarios run
+        the MALT corpus, every other family runs the traffic corpus over the
+        traffic-annotated graph.
+        """
+        from repro.scenarios.overlay import application_from_scenario, resolve_spec
+
+        spec = resolve_spec(spec)
+        application = application_from_scenario(spec)
+        models = list(models or self.config.models)
+        if queries is None:
+            queries = queries_for("malt" if spec.family == "malt" else "traffic_analysis")
+        report = AccuracyReport(application=f"scenario:{spec.name}",
+                                backends=list(backends), models=models)
+        for backend in backends:
+            for query in queries:
+                for model in models:
+                    record = self.run_query(application, query, model, backend)
+                    report.logger.log(record)
+        return report
+
+    def run_scenario_suite(self, suite=None, models: Optional[Sequence[str]] = None,
+                           backends: Sequence[str] = ("networkx",),
+                           queries: Optional[Sequence[BenchmarkQuery]] = None,
+                           ) -> Dict[str, AccuracyReport]:
+        """Sweep a whole scenario suite; scenario name -> accuracy report."""
+        from repro.scenarios.suite import default_suite
+
+        if suite is None:
+            suite = default_suite()
+        suite.validate()
+        return {spec.name: self.run_scenario(spec, models=models, backends=backends,
+                                             queries=queries)
+                for spec in suite.scenarios}

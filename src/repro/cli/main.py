@@ -7,7 +7,9 @@ Sub-commands:
 * ``benchmark`` — run the NeMoEval accuracy benchmark (Tables 2-5);
 * ``cost``      — run the cost/scalability analysis (Figure 4);
 * ``improve``   — run the pass@k / self-debug case study (Table 6);
-* ``queries``   — list the benchmark query corpus (Table 1).
+* ``queries``   — list the benchmark query corpus (Table 1);
+* ``scenarios`` — list/describe/generate structured topology families and
+                  dynamic-event scenarios (``repro.scenarios``).
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.benchmark import BenchmarkConfig, BenchmarkRunner
 from repro.benchmark.errors import ERROR_TYPE_LABELS
 from repro.benchmark.queries import malt_queries, traffic_queries
@@ -27,6 +30,7 @@ from repro.malt import MaltApplication
 from repro.techniques import ImprovementCaseStudy
 from repro.traffic import TrafficAnalysisApplication
 from repro.utils.tables import format_table
+from repro.utils.validation import ValidationError
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,6 +39,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-nemo",
         description="Natural-language network management via LLM-generated code "
                     "(HotNets 2023 reproduction).")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command")
 
     ask = subparsers.add_parser("ask", help="answer one natural-language query")
@@ -66,6 +72,27 @@ def build_parser() -> argparse.ArgumentParser:
     improve.add_argument("--k", type=int, default=5)
 
     subparsers.add_parser("queries", help="list the benchmark query corpus")
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="structured topology families and dynamic scenarios")
+    scenario_sub = scenarios.add_subparsers(dest="scenario_action")
+    scenario_sub.add_parser("list", help="list topology families and scenarios")
+    describe = scenario_sub.add_parser("describe", help="show one scenario spec")
+    describe.add_argument("name", help="registered scenario name")
+    generate = scenario_sub.add_parser(
+        "generate", help="build a topology or replay a scenario")
+    source = generate.add_mutually_exclusive_group(required=True)
+    source.add_argument("--family", help="topology family name (e.g. fat-tree)")
+    source.add_argument("--scenario", help="registered scenario name")
+    source.add_argument("--spec", help="path to a scenario spec JSON file")
+    generate.add_argument("--seed", type=int, default=None,
+                          help="override the scenario/family seed (default 7)")
+    generate.add_argument("--set", dest="params", action="append", default=[],
+                          metavar="KEY=VALUE", help="override a family parameter")
+    generate.add_argument("--replay", action="store_true",
+                          help="replay the event timeline and show snapshots")
+    generate.add_argument("--json", dest="json_path", default=None,
+                          help="write the generated graph to this JSON file")
     return parser
 
 
@@ -168,6 +195,69 @@ def _cmd_queries(_: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_param_overrides(pairs: List[str]) -> dict:
+    """Parse ``--set key=value`` overrides, coercing values via JSON."""
+    params = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects KEY=VALUE, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import (ScenarioSpec, build_topology, family_names,
+                                 get_family, get_scenario, replay_scenario,
+                                 scenario_names)
+    from repro.graph.serialization import graph_to_json
+
+    if args.scenario_action == "list":
+        rows = [[name, get_family(name).description] for name in family_names()]
+        print(format_table(["family", "description"], rows, title="Topology families"))
+        print()
+        rows = [[spec.name, spec.family, len(spec.events), spec.description]
+                for spec in (get_scenario(name) for name in scenario_names())]
+        print(format_table(["scenario", "family", "events", "description"], rows,
+                           title="Registered scenarios"))
+        return 0
+
+    if args.scenario_action == "describe":
+        print(get_scenario(args.name).to_json())
+        return 0
+
+    if args.scenario_action == "generate":
+        overrides = _parse_param_overrides(args.params)
+        if args.family:
+            spec = ScenarioSpec(name=f"cli-{args.family}", family=args.family)
+        elif args.scenario:
+            spec = get_scenario(args.scenario)
+        else:
+            spec = ScenarioSpec.load(args.spec)
+        spec.params.update(overrides)
+        if args.seed is not None:
+            spec.seed = args.seed
+        if args.replay and spec.events:
+            timeline = replay_scenario(spec)
+            print(timeline.summary())
+            graph = timeline.final_graph
+        else:
+            graph = spec.build_topology()
+            print(f"# scenario: {spec.name}   family: {spec.family}   seed: {spec.seed}")
+            print(f"# nodes: {graph.node_count}   edges: {graph.edge_count}")
+        if args.json_path:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                handle.write(graph_to_json(graph, indent=2) + "\n")
+            print(f"wrote graph to {args.json_path}")
+        return 0
+
+    print("usage: repro-nemo scenarios {list,describe,generate} ...")
+    return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -178,11 +268,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cost": _cmd_cost,
         "improve": _cmd_improve,
         "queries": _cmd_queries,
+        "scenarios": _cmd_scenarios,
     }
     if args.command is None:
         parser.print_help()
         return 2
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except (ValidationError, FileNotFoundError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

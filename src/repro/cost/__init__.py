@@ -13,6 +13,7 @@ from repro.cost.analysis import (
     CostCdf,
     ScalabilityPoint,
     ScalabilitySweep,
+    ScenarioCostPoint,
 )
 
 __all__ = [
@@ -21,4 +22,5 @@ __all__ = [
     "CostCdf",
     "ScalabilityPoint",
     "ScalabilitySweep",
+    "ScenarioCostPoint",
 ]

@@ -53,6 +53,18 @@ class CostCdf:
 
 
 @dataclass
+class ScenarioCostPoint:
+    """Per-query cost of one scenario's replayed network state."""
+
+    scenario: str
+    family: str
+    graph_size: int                     # nodes + edges of the final state
+    codegen_cost_usd: float
+    strawman_cost_usd: Optional[float]  # None once the prompt exceeds the window
+    strawman_within_limit: bool
+
+
+@dataclass
 class ScalabilityPoint:
     """Cost at one graph size (Figure 4b has one of these per x-value)."""
 
@@ -148,6 +160,43 @@ class CostAnalyzer:
                 strawman_within_limit=strawman.within_token_limit,
             ))
         return sweep
+
+    # ------------------------------------------------------------------
+    def scenario_cost_sweep(self, scenarios: Optional[Sequence] = None,
+                            query: Optional[BenchmarkQuery] = None,
+                            ) -> List[ScenarioCostPoint]:
+        """Cost scaling across topology families (the Figure-4b axis widened).
+
+        Each scenario (a :class:`repro.scenarios.ScenarioSpec` or registered
+        name) is replayed, its final state is annotated with the traffic
+        schema, and the code-gen versus strawman cost of a representative
+        query is computed — showing how the strawman penalty varies across
+        structurally different families, not just graph sizes.
+        """
+        from repro.benchmark.queries import malt_queries
+        from repro.scenarios.overlay import application_from_scenario, resolve_spec
+        from repro.scenarios.suite import default_suite
+
+        if scenarios is None:
+            scenarios = default_suite().scenarios
+        traffic_query = query or traffic_queries()[12]  # the color-by-prefix query
+        malt_query = query or malt_queries()[0]
+        points: List[ScenarioCostPoint] = []
+        for spec in scenarios:
+            spec = resolve_spec(spec)
+            application = application_from_scenario(spec)
+            representative = malt_query if spec.family == "malt" else traffic_query
+            codegen = self.query_cost(application, representative, "networkx")
+            strawman = self.query_cost(application, representative, "strawman")
+            points.append(ScenarioCostPoint(
+                scenario=spec.name,
+                family=spec.family,
+                graph_size=application.graph.node_count + application.graph.edge_count,
+                codegen_cost_usd=codegen.cost_usd,
+                strawman_cost_usd=strawman.cost_usd if strawman.within_token_limit else None,
+                strawman_within_limit=strawman.within_token_limit,
+            ))
+        return points
 
     # ------------------------------------------------------------------
     def average_cost_per_task(self, node_count: int = 40, edge_count: int = 40,

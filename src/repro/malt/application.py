@@ -37,6 +37,18 @@ class MaltApplication(NetworkApplication):
             control_points=4, port_links=6, seed=seed)
         return cls(config=config)
 
+    @classmethod
+    def from_scenario(cls, spec_or_name, at_time: Optional[float] = None) -> "MaltApplication":
+        """Build the application from a MALT-family scenario spec or name.
+
+        The scenario is replayed through the event engine; the application
+        wraps the final state (or the state at *at_time*).
+        """
+        from repro.scenarios.overlay import malt_application_from_scenario
+
+        return malt_application_from_scenario(spec_or_name, at_time=at_time,
+                                              application_cls=cls)
+
     def context(self) -> ApplicationContext:
         return ApplicationContext(
             application_name="Network lifecycle management (MALT)",

@@ -1,0 +1,322 @@
+"""Timestamped dynamic events applied to a topology graph.
+
+A scenario's timeline is a list of events, each with a time ``at`` and a
+``kind``; the :mod:`~repro.scenarios.engine` replays them in time order
+against the scenario's topology.  The munet/SiNE emulation plans motivate the
+vocabulary: links fail and recover, capacity degrades, nodes churn in and
+out, and traffic surges.
+
+Every event serializes to a plain dictionary (``{"kind": ..., "at": ...,
+...}``) so scenario specs stay JSON-loadable, and every mutation is
+deterministic — an event never consults wall-clock time or unseeded
+randomness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.graph import PropertyGraph
+from repro.utils.validation import require
+
+
+#: default attributes for a link brought up with no remembered/explicit state
+DEFAULT_LINK_ATTRIBUTES = {"capacity_gbps": 10, "latency_ms": 1.0}
+
+#: traffic counter keys scaled by a surge
+TRAFFIC_KEYS = ("bytes", "connections", "packets")
+
+
+class EngineState:
+    """Replay bookkeeping shared by all events of one scenario run.
+
+    Remembers the attributes of removed links and the attributes plus
+    incident edges of removed nodes, so that ``link_up`` / ``node_join``
+    events can restore them exactly.
+    """
+
+    def __init__(self) -> None:
+        self.removed_edges: Dict[Tuple[Any, Any], Dict[str, Any]] = {}
+        self.removed_nodes: Dict[Any, Dict[str, Any]] = {}
+        self.removed_incident: Dict[Any, List[Tuple[Any, Any, Dict[str, Any]]]] = {}
+
+
+@dataclass
+class ScenarioEvent:
+    """Base class: one timestamped mutation of the scenario graph."""
+
+    at: float
+
+    #: stable serialization tag, overridden by every subclass
+    kind = "event"
+
+    def validate(self) -> None:
+        require(self.at >= 0, f"event time must be non-negative, got {self.at}")
+
+    def apply(self, graph: PropertyGraph, state: EngineState) -> List[str]:
+        """Mutate *graph* in place; return human-readable change notes."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = {"kind": self.kind, "at": self.at}
+        payload.update(self._payload())
+        return payload
+
+    def _payload(self) -> Dict[str, Any]:
+        return {}
+
+
+@dataclass
+class LinkDownEvent(ScenarioEvent):
+    """Take a link down (the edge is removed; its attributes are remembered)."""
+
+    source: Any = None
+    target: Any = None
+    kind = "link_down"
+
+    def validate(self) -> None:
+        super().validate()
+        require(self.source is not None and self.target is not None,
+                "link_down requires 'source' and 'target'")
+
+    def apply(self, graph: PropertyGraph, state: EngineState) -> List[str]:
+        if not graph.has_edge(self.source, self.target):
+            return [f"link {self.source}->{self.target} already absent"]
+        state.removed_edges[(self.source, self.target)] = dict(
+            graph.edge_attributes(self.source, self.target))
+        graph.remove_edge(self.source, self.target)
+        return [f"link down: {self.source} -> {self.target}"]
+
+    def _payload(self) -> Dict[str, Any]:
+        return {"source": self.source, "target": self.target}
+
+
+@dataclass
+class LinkUpEvent(ScenarioEvent):
+    """Bring a link (back) up, restoring remembered attributes when known."""
+
+    source: Any = None
+    target: Any = None
+    attributes: Optional[Dict[str, Any]] = None
+    kind = "link_up"
+
+    def validate(self) -> None:
+        super().validate()
+        require(self.source is not None and self.target is not None,
+                "link_up requires 'source' and 'target'")
+
+    def apply(self, graph: PropertyGraph, state: EngineState) -> List[str]:
+        if graph.has_edge(self.source, self.target):
+            return [f"link {self.source}->{self.target} already up"]
+        attrs = self.attributes
+        if attrs is None:
+            attrs = state.removed_edges.pop((self.source, self.target),
+                                            dict(DEFAULT_LINK_ATTRIBUTES))
+        graph.add_edge(self.source, self.target, **dict(attrs))
+        return [f"link up: {self.source} -> {self.target}"]
+
+    def _payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"source": self.source, "target": self.target}
+        if self.attributes is not None:
+            payload["attributes"] = dict(self.attributes)
+        return payload
+
+
+@dataclass
+class CapacityDegradationEvent(ScenarioEvent):
+    """Scale the capacity of one link, one node's links, or every link."""
+
+    factor: float = 0.5
+    source: Any = None
+    target: Any = None
+    attribute: str = "capacity_gbps"
+    kind = "capacity_degradation"
+
+    def validate(self) -> None:
+        super().validate()
+        require(self.factor > 0, f"degradation factor must be positive, got {self.factor}")
+        require(not (self.target is not None and self.source is None),
+                "capacity_degradation with a 'target' also requires a 'source'")
+
+    def _selected_edges(self, graph: PropertyGraph) -> List[Tuple[Any, Any]]:
+        if self.source is not None and self.target is not None:
+            return [(self.source, self.target)] if graph.has_edge(self.source, self.target) else []
+        edges = [(u, v) for u, v in graph.edges()]
+        if self.source is not None:
+            edges = [(u, v) for u, v in edges if self.source in (u, v)]
+        return edges
+
+    def apply(self, graph: PropertyGraph, state: EngineState) -> List[str]:
+        touched = 0
+        for u, v in self._selected_edges(graph):
+            attrs = graph.edge_attributes(u, v)
+            if self.attribute not in attrs:
+                continue
+            attrs[self.attribute] = round(attrs[self.attribute] * self.factor, 6)
+            touched += 1
+        scope = (f"{self.source}->{self.target}" if self.target is not None
+                 else (str(self.source) if self.source is not None else "all links"))
+        return [f"capacity x{self.factor} on {scope} ({touched} links)"]
+
+    def _payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"factor": self.factor}
+        if self.source is not None:
+            payload["source"] = self.source
+        if self.target is not None:
+            payload["target"] = self.target
+        if self.attribute != "capacity_gbps":
+            payload["attribute"] = self.attribute
+        return payload
+
+
+@dataclass
+class NodeLeaveEvent(ScenarioEvent):
+    """A node churns out: it and its incident edges are removed (remembered)."""
+
+    node: Any = None
+    kind = "node_leave"
+
+    def validate(self) -> None:
+        super().validate()
+        require(self.node is not None, "node_leave requires 'node'")
+
+    def apply(self, graph: PropertyGraph, state: EngineState) -> List[str]:
+        if not graph.has_node(self.node):
+            return [f"node {self.node} already absent"]
+        state.removed_nodes[self.node] = dict(graph.node_attributes(self.node))
+        incident = []
+        for source, target, attrs in graph.edges(data=True):
+            if self.node in (source, target):
+                incident.append((source, target, dict(attrs)))
+        state.removed_incident[self.node] = incident
+        graph.remove_node(self.node)
+        return [f"node leave: {self.node} (dropped {len(incident)} links)"]
+
+    def _payload(self) -> Dict[str, Any]:
+        return {"node": self.node}
+
+
+@dataclass
+class NodeJoinEvent(ScenarioEvent):
+    """A node churns in: a previously-removed node is restored with its
+    links, or a brand-new node is added with explicit attributes/links."""
+
+    node: Any = None
+    attributes: Optional[Dict[str, Any]] = None
+    links: Optional[List[Dict[str, Any]]] = None
+    kind = "node_join"
+
+    def validate(self) -> None:
+        super().validate()
+        require(self.node is not None, "node_join requires 'node'")
+
+    def apply(self, graph: PropertyGraph, state: EngineState) -> List[str]:
+        if graph.has_node(self.node):
+            return [f"node {self.node} already present"]
+        attrs = self.attributes
+        if attrs is None:
+            attrs = state.removed_nodes.pop(self.node, {})
+        graph.add_node(self.node, **dict(attrs))
+        restored = 0
+        if self.links is not None:
+            for link in self.links:
+                peer = link["peer"]
+                if not graph.has_node(peer):
+                    continue
+                graph.add_edge(self.node, peer,
+                               **dict(link.get("attributes", DEFAULT_LINK_ATTRIBUTES)))
+                restored += 1
+        else:
+            for source, target, edge_attrs in state.removed_incident.pop(self.node, []):
+                if graph.has_node(source) and graph.has_node(target):
+                    graph.add_edge(source, target, **dict(edge_attrs))
+                    restored += 1
+        return [f"node join: {self.node} (restored {restored} links)"]
+
+    def _payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"node": self.node}
+        if self.attributes is not None:
+            payload["attributes"] = dict(self.attributes)
+        if self.links is not None:
+            payload["links"] = [dict(link) for link in self.links]
+        return payload
+
+
+@dataclass
+class TrafficSurgeEvent(ScenarioEvent):
+    """Scale traffic counters (bytes/connections/packets) by a factor.
+
+    With ``node`` set only edges incident to that node surge; otherwise every
+    edge carrying traffic counters does.  Integer counters stay integers.
+    """
+
+    factor: float = 2.0
+    node: Any = None
+    keys: Tuple[str, ...] = field(default_factory=lambda: TRAFFIC_KEYS)
+    kind = "traffic_surge"
+
+    def validate(self) -> None:
+        super().validate()
+        require(self.factor > 0, f"surge factor must be positive, got {self.factor}")
+        require(len(self.keys) > 0, "traffic_surge requires at least one counter key")
+
+    def apply(self, graph: PropertyGraph, state: EngineState) -> List[str]:
+        touched = 0
+        for source, target, attrs in graph.edges(data=True):
+            if self.node is not None and self.node not in (source, target):
+                continue
+            hit = False
+            for key in self.keys:
+                if key not in attrs:
+                    continue
+                value = attrs[key] * self.factor
+                attrs[key] = int(round(value)) if isinstance(attrs[key], int) else round(value, 6)
+                hit = True
+            touched += hit
+        scope = str(self.node) if self.node is not None else "all edges"
+        return [f"traffic x{self.factor} on {scope} ({touched} edges)"]
+
+    def _payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"factor": self.factor}
+        if self.node is not None:
+            payload["node"] = self.node
+        if tuple(self.keys) != TRAFFIC_KEYS:
+            payload["keys"] = list(self.keys)
+        return payload
+
+
+#: serialization registry: kind tag -> event class
+EVENT_TYPES: Dict[str, Type[ScenarioEvent]] = {
+    cls.kind: cls
+    for cls in (LinkDownEvent, LinkUpEvent, CapacityDegradationEvent,
+                NodeLeaveEvent, NodeJoinEvent, TrafficSurgeEvent)
+}
+
+
+def event_kinds() -> List[str]:
+    """All known event kind tags, sorted."""
+    return sorted(EVENT_TYPES)
+
+
+def event_from_dict(payload: Dict[str, Any]) -> ScenarioEvent:
+    """Rebuild an event from its dictionary form."""
+    require(isinstance(payload, dict), "event payload must be a dictionary")
+    require("kind" in payload, "event payload must contain 'kind'")
+    require("at" in payload, "event payload must contain 'at'")
+    kind = payload["kind"]
+    require(kind in EVENT_TYPES,
+            f"unknown event kind {kind!r}; known kinds: {event_kinds()}")
+    event_cls = EVENT_TYPES[kind]
+    fields = {key: value for key, value in payload.items() if key != "kind"}
+    allowed = {f.name for f in dataclasses.fields(event_cls)}
+    unknown = sorted(set(fields) - allowed)
+    require(not unknown,
+            f"unknown field(s) {unknown} for event kind {kind!r}; "
+            f"known fields: {sorted(allowed)}")
+    if kind == "traffic_surge" and "keys" in fields:
+        fields["keys"] = tuple(fields["keys"])
+    event = event_cls(**fields)
+    event.validate()
+    return event

@@ -1,0 +1,122 @@
+"""Build benchmark applications from scenarios.
+
+Topology families describe the *physical* network (capacity, latency); the
+benchmark's traffic-analysis application reasons about *traffic* (addresses,
+byte/connection/packet counters).  :func:`annotate_traffic_attributes`
+bridges the two: it deterministically assigns IPv4 addresses and device
+types to nodes and derives flow counters from link capacity, so that every
+topology family can serve the full traffic query corpus (including the
+prefix queries, via the allocator's pinned ``15.76`` prefix).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.graph import PropertyGraph
+from repro.scenarios.engine import replay_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.traffic.addressing import AddressAllocator
+from repro.utils.rng import DeterministicRng
+from repro.utils.validation import require
+
+
+SpecOrName = Union[ScenarioSpec, str]
+
+DEVICE_TYPES = ("host", "router", "switch", "server")
+
+
+def resolve_spec(spec_or_name: SpecOrName) -> ScenarioSpec:
+    """Accept either a spec or a registered scenario name."""
+    if isinstance(spec_or_name, ScenarioSpec):
+        return spec_or_name
+    from repro.scenarios.registry import get_scenario
+
+    return get_scenario(spec_or_name)
+
+
+def annotate_traffic_attributes(graph: PropertyGraph, seed: int = 7) -> PropertyGraph:
+    """Return a copy of *graph* carrying the traffic-analysis schema.
+
+    Nodes gain ``address``/``type``/``name`` attributes where missing; edges
+    gain ``bytes``/``connections``/``packets`` counters where missing, scaled
+    by the link's ``capacity_gbps`` so fat links look busy and thin radio
+    links look quiet.  Graphs that already carry the schema (the
+    ``random-traffic`` family) pass through with only a copy.
+    """
+    annotated = graph.copy()
+    rng = DeterministicRng(seed, "scenario-traffic-overlay")
+    allocator = AddressAllocator(rng)
+    type_rng = rng.fork("types")
+    weight_rng = rng.fork("weights")
+
+    for node_id in annotated.nodes():
+        attrs = annotated.node_attributes(node_id)
+        if "address" not in attrs:
+            attrs["address"] = allocator.allocate()
+        if "type" not in attrs:
+            attrs["type"] = type_rng.choice(DEVICE_TYPES)
+        if "name" not in attrs:
+            attrs["name"] = str(node_id)
+
+    for source, target, attrs in annotated.edges(data=True):
+        if all(key in attrs for key in ("bytes", "connections", "packets")):
+            continue
+        # a link's observed traffic is a random fraction of its capacity;
+        # links with no capacity annotation get a nominal 1 Gbps
+        capacity = attrs.get("capacity_gbps", 1.0)
+        utilization = weight_rng.uniform(0.05, 0.8)
+        attrs.setdefault("bytes", max(int(capacity * utilization * 1_000_000), 100))
+        attrs.setdefault("connections", max(int(capacity * utilization * 40), 1))
+        attrs.setdefault("packets", max(int(capacity * utilization * 10_000), 10))
+    annotated.graph_attributes["application"] = "traffic_analysis"
+    return annotated
+
+
+def scenario_graph(spec_or_name: SpecOrName,
+                   at_time: Optional[float] = None) -> PropertyGraph:
+    """Replay a scenario and return its graph (final state by default)."""
+    spec = resolve_spec(spec_or_name)
+    timeline = replay_scenario(spec)
+    if at_time is None:
+        return timeline.final_graph
+    return timeline.graph_at(at_time)
+
+
+def traffic_application_from_scenario(spec_or_name: SpecOrName,
+                                      at_time: Optional[float] = None,
+                                      application_cls=None):
+    """A :class:`TrafficAnalysisApplication` (or subclass) over a scenario's state."""
+    from repro.traffic.application import TrafficAnalysisApplication
+
+    spec = resolve_spec(spec_or_name)
+    require(spec.family != "malt",
+            f"scenario {spec.name!r} uses the 'malt' family; build it with "
+            f"MaltApplication.from_scenario instead")
+    graph = scenario_graph(spec, at_time)
+    application_cls = application_cls or TrafficAnalysisApplication
+    return application_cls(
+        graph=annotate_traffic_attributes(graph, seed=spec.seed))
+
+
+def malt_application_from_scenario(spec_or_name: SpecOrName,
+                                   at_time: Optional[float] = None,
+                                   application_cls=None):
+    """A :class:`MaltApplication` (or subclass) over a MALT-family scenario's state."""
+    from repro.malt.application import MaltApplication
+
+    spec = resolve_spec(spec_or_name)
+    require(spec.family == "malt",
+            f"scenario {spec.name!r} uses family {spec.family!r}; "
+            f"MaltApplication requires the 'malt' family")
+    application_cls = application_cls or MaltApplication
+    return application_cls(graph=scenario_graph(spec, at_time))
+
+
+def application_from_scenario(spec_or_name: SpecOrName,
+                              at_time: Optional[float] = None):
+    """Build whichever application matches the scenario's family."""
+    spec = resolve_spec(spec_or_name)
+    if spec.family == "malt":
+        return malt_application_from_scenario(spec, at_time)
+    return traffic_application_from_scenario(spec, at_time)

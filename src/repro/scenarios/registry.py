@@ -1,0 +1,167 @@
+"""Named scenario registry.
+
+Ships a set of built-in scenarios — one per interesting failure story — and
+lets callers register their own.  Lookups return deep copies so that a
+caller mutating a spec (e.g. re-seeding it for a sweep) never corrupts the
+registry.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List
+
+from repro.scenarios.events import (
+    CapacityDegradationEvent,
+    LinkDownEvent,
+    LinkUpEvent,
+    NodeJoinEvent,
+    NodeLeaveEvent,
+    TrafficSurgeEvent,
+)
+from repro.scenarios.spec import ScenarioSpec
+from repro.utils.validation import require
+
+
+def _builtin_specs() -> List[ScenarioSpec]:
+    return [
+        ScenarioSpec(
+            name="fat-tree-failover",
+            family="fat-tree",
+            params={"k": 4, "hosts_per_edge": 1},
+            seed=7,
+            description="A core uplink fails in a k=4 fat-tree, the fabric "
+                        "runs degraded, then the link is repaired.",
+            events=[
+                LinkDownEvent(at=1.0, source="pod0-agg0", target="core-0"),
+                CapacityDegradationEvent(at=2.0, factor=0.5, source="pod0-agg0"),
+                LinkUpEvent(at=5.0, source="pod0-agg0", target="core-0"),
+            ],
+        ),
+        ScenarioSpec(
+            name="wan-fiber-cut",
+            family="wan-backbone",
+            params={"pop_count": 10, "extra_links": 4},
+            seed=13,
+            description="A backbone fiber cut isolates a span, a POP goes "
+                        "dark for maintenance and later rejoins.",
+            events=[
+                LinkDownEvent(at=1.0, source="pop-0", target="pop-1"),
+                NodeLeaveEvent(at=2.0, node="pop-3"),
+                NodeJoinEvent(at=6.0, node="pop-3"),
+                LinkUpEvent(at=8.0, source="pop-0", target="pop-1"),
+            ],
+        ),
+        ScenarioSpec(
+            name="manet-churn",
+            family="geometric",
+            params={"node_count": 20, "radius": 0.4},
+            seed=21,
+            description="Mobile nodes churn out of and back into radio "
+                        "range while the shared medium degrades.",
+            events=[
+                NodeLeaveEvent(at=1.0, node="mn-0"),
+                CapacityDegradationEvent(at=2.0, factor=0.6),
+                NodeLeaveEvent(at=3.0, node="mn-5"),
+                NodeJoinEvent(at=4.0, node="mn-0"),
+                NodeJoinEvent(at=7.0, node="mn-5"),
+            ],
+        ),
+        ScenarioSpec(
+            name="traffic-flashcrowd",
+            family="random-traffic",
+            params={"node_count": 30, "edge_count": 60},
+            seed=7,
+            description="A flash crowd quadruples traffic counters, a "
+                        "congested link fails, then load drains away.",
+            events=[
+                TrafficSurgeEvent(at=1.0, factor=4.0),
+                LinkDownEvent(at=2.0, source="n0", target="n1"),
+                TrafficSurgeEvent(at=4.0, factor=0.25),
+            ],
+        ),
+        ScenarioSpec(
+            name="ring-maintenance",
+            family="ring",
+            params={"node_count": 12},
+            seed=5,
+            description="A metro ring span is taken out for maintenance at "
+                        "reduced capacity, then restored.",
+            events=[
+                CapacityDegradationEvent(at=1.0, factor=0.5,
+                                         source="ring-0", target="ring-1"),
+                LinkDownEvent(at=2.0, source="ring-0", target="ring-1"),
+                LinkUpEvent(at=6.0, source="ring-0", target="ring-1"),
+            ],
+        ),
+        ScenarioSpec(
+            name="mesh-partition",
+            family="mesh",
+            params={"node_count": 8, "connectivity": 0.6},
+            seed=17,
+            description="A partial mesh loses a router and a chord, then "
+                        "the router rejoins with its original links.",
+            events=[
+                NodeLeaveEvent(at=1.0, node="m0"),
+                LinkDownEvent(at=2.0, source="m1", target="m2"),
+                NodeJoinEvent(at=5.0, node="m0"),
+                LinkUpEvent(at=6.0, source="m1", target="m2"),
+            ],
+        ),
+        ScenarioSpec(
+            name="star-hub-brownout",
+            family="star",
+            params={"leaf_count": 10},
+            seed=3,
+            description="The hub browns out (all spokes degrade), one leaf "
+                        "drops off entirely, then capacity recovers.",
+            events=[
+                CapacityDegradationEvent(at=1.0, factor=0.25, source="hub"),
+                LinkDownEvent(at=2.0, source="hub", target="leaf-3"),
+                CapacityDegradationEvent(at=5.0, factor=4.0, source="hub"),
+                LinkUpEvent(at=6.0, source="hub", target="leaf-3"),
+            ],
+        ),
+        ScenarioSpec(
+            name="malt-chassis-drain",
+            family="malt",
+            params={},
+            seed=11,
+            description="A MALT packet switch is drained from its chassis "
+                        "and later re-racked.",
+            events=[
+                NodeLeaveEvent(at=1.0, node="ju1.a1.m1.s1c1"),
+                NodeJoinEvent(at=4.0, node="ju1.a1.m1.s1c1"),
+            ],
+        ),
+    ]
+
+
+_REGISTRY: Dict[str, ScenarioSpec] = {spec.name: spec for spec in _builtin_specs()}
+
+
+def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Register a scenario by name; refuses silent overwrites by default."""
+    spec.validate()
+    require(replace or spec.name not in _REGISTRY,
+            f"scenario {spec.name!r} is already registered "
+            f"(pass replace=True to overwrite)")
+    _REGISTRY[spec.name] = copy.deepcopy(spec)
+    return spec
+
+
+def scenario_names() -> List[str]:
+    """Names of all registered scenarios, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Fetch a deep copy of a registered scenario."""
+    require(name in _REGISTRY,
+            f"unknown scenario {name!r}; known scenarios: {scenario_names()}")
+    return copy.deepcopy(_REGISTRY[name])
+
+
+def builtin_scenarios() -> List[ScenarioSpec]:
+    """Deep copies of every registered scenario, in name order."""
+    return [get_scenario(name) for name in scenario_names()]

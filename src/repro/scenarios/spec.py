@@ -1,0 +1,106 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is the munet-style, configuration-first description
+of one experiment: *which* topology family, with *which* parameters, from
+*which* seed, and *what happens over time*.  Specs are plain data — they
+round-trip losslessly through dictionaries and JSON, so suites of scenarios
+can live in files, be generated programmatically, or be passed on the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Set
+
+from repro.graph import PropertyGraph
+from repro.scenarios.events import ScenarioEvent, event_from_dict
+from repro.scenarios.topologies import build_topology, family_names
+from repro.utils.validation import require
+
+
+SPEC_FORMAT_VERSION = 1
+
+
+@dataclass
+class ScenarioSpec:
+    """One declarative scenario: a topology family plus an event timeline."""
+
+    name: str
+    family: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 7
+    description: str = ""
+    events: List[ScenarioEvent] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        require(bool(self.name), "scenario name must be non-empty")
+        require(self.family in family_names(),
+                f"unknown topology family {self.family!r}; "
+                f"known families: {family_names()}")
+        for event in self.events:
+            event.validate()
+
+    def sorted_events(self) -> List[ScenarioEvent]:
+        """Events in replay order (stable for equal timestamps)."""
+        return sorted(self.events, key=lambda event: event.at)
+
+    def event_kinds(self) -> Set[str]:
+        """The distinct event kinds this scenario exercises."""
+        return {event.kind for event in self.events}
+
+    def build_topology(self) -> PropertyGraph:
+        """Build the scenario's initial (time-zero) topology."""
+        self.validate()
+        graph = build_topology(self.family, self.params, self.seed)
+        graph.graph_attributes["scenario"] = self.name
+        return graph
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format_version": SPEC_FORMAT_VERSION,
+            "name": self.name,
+            "family": self.family,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "description": self.description,
+            "events": [event.to_dict() for event in self.sorted_events()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioSpec":
+        require(isinstance(payload, dict), "scenario payload must be a dictionary")
+        require("name" in payload and "family" in payload,
+                "scenario payload must contain 'name' and 'family'")
+        spec = cls(
+            name=payload["name"],
+            family=payload["family"],
+            params=dict(payload.get("params", {})),
+            seed=int(payload.get("seed", 7)),
+            description=payload.get("description", ""),
+            events=[event_from_dict(event) for event in payload.get("events", [])],
+        )
+        spec.validate()
+        return spec
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "ScenarioSpec":
+        """Load a spec from a JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def save(self, path: str) -> None:
+        """Write the spec to a JSON file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")

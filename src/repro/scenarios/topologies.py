@@ -1,0 +1,339 @@
+"""Structured topology families.
+
+The paper evaluates only two synthetic datasets — a random communication
+graph and one MALT hierarchy.  This module widens the scenario axis with
+parametric generators for the classic network shapes: fat-tree/Clos fabrics,
+WAN backbones, rings, stars, full/partial meshes, and geometric (MANET-style)
+radio topologies.  Every family is registered under a stable name so that a
+declarative :class:`~repro.scenarios.spec.ScenarioSpec` can reference it, and
+every generated graph carries ``capacity_gbps`` and ``latency_ms`` edge
+attributes (the traffic overlay derives flow weights from them).
+
+Generation is fully deterministic in the seed: the same ``(family, params,
+seed)`` triple always produces an identical :class:`PropertyGraph`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from repro.graph import PropertyGraph
+from repro.utils.rng import DeterministicRng
+from repro.utils.validation import require
+
+
+BuilderFn = Callable[[Dict[str, Any], DeterministicRng], PropertyGraph]
+
+
+@dataclass(frozen=True)
+class TopologyFamily:
+    """One named, parametric topology generator."""
+
+    name: str
+    description: str
+    builder: BuilderFn
+    defaults: Dict[str, Any]
+
+
+_FAMILIES: Dict[str, TopologyFamily] = {}
+
+
+def register_family(family: TopologyFamily) -> TopologyFamily:
+    """Register (or replace) a topology family under its name."""
+    require(bool(family.name), "topology family name must be non-empty")
+    _FAMILIES[family.name] = family
+    return family
+
+
+def family_names() -> List[str]:
+    """Names of all registered families, sorted."""
+    return sorted(_FAMILIES)
+
+
+def get_family(name: str) -> TopologyFamily:
+    """Look up a family by name."""
+    require(name in _FAMILIES,
+            f"unknown topology family {name!r}; known families: {family_names()}")
+    return _FAMILIES[name]
+
+
+def build_topology(family: str, params: Dict[str, Any] = None,
+                   seed: int = 7) -> PropertyGraph:
+    """Build one topology from a family name, parameter overrides and a seed.
+
+    Unknown parameter names are rejected so that a typo in a scenario spec
+    fails loudly instead of silently falling back to the default.
+    """
+    entry = get_family(family)
+    merged = dict(entry.defaults)
+    for key, value in (params or {}).items():
+        require(key in merged,
+                f"unknown parameter {key!r} for family {family!r}; "
+                f"known parameters: {sorted(merged)}")
+        merged[key] = value
+    rng = DeterministicRng(seed, f"scenario-topology/{family}")
+    graph = entry.builder(merged, rng)
+    graph.graph_attributes.setdefault("family", family)
+    graph.graph_attributes["seed"] = seed
+    graph.graph_attributes["params"] = dict(merged)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# fat-tree / Clos
+# ---------------------------------------------------------------------------
+def _build_fat_tree(params: Dict[str, Any], rng: DeterministicRng) -> PropertyGraph:
+    k = params["k"]
+    require(k >= 2 and k % 2 == 0, f"fat-tree parameter k must be even and >= 2, got {k}")
+    hosts_per_edge = params["hosts_per_edge"]
+    require(hosts_per_edge >= 0, "hosts_per_edge must be non-negative")
+    half = k // 2
+
+    graph = PropertyGraph(name=f"fat-tree-k{k}", directed=False)
+    for c in range(half * half):
+        graph.add_node(f"core-{c}", role="core", name=f"core-{c}")
+    for pod in range(k):
+        for i in range(half):
+            agg = f"pod{pod}-agg{i}"
+            graph.add_node(agg, role="aggregation", name=agg, pod=pod)
+            # each aggregation switch uplinks to a distinct half-sized core group
+            for c in range(i * half, (i + 1) * half):
+                graph.add_edge(agg, f"core-{c}",
+                               capacity_gbps=params["core_capacity_gbps"],
+                               latency_ms=0.05)
+        for i in range(half):
+            edge = f"pod{pod}-edge{i}"
+            graph.add_node(edge, role="edge", name=edge, pod=pod)
+            for j in range(half):
+                graph.add_edge(f"pod{pod}-agg{j}", edge,
+                               capacity_gbps=params["agg_capacity_gbps"],
+                               latency_ms=0.1)
+            for h in range(hosts_per_edge):
+                host = f"pod{pod}-edge{i}-h{h}"
+                graph.add_node(host, role="host", name=host, pod=pod)
+                graph.add_edge(edge, host,
+                               capacity_gbps=params["host_capacity_gbps"],
+                               latency_ms=0.2)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# WAN backbone
+# ---------------------------------------------------------------------------
+def _build_wan_backbone(params: Dict[str, Any], rng: DeterministicRng) -> PropertyGraph:
+    pops = params["pop_count"]
+    require(pops >= 3, f"wan-backbone needs at least 3 POPs, got {pops}")
+    extra = params["extra_links"]
+    require(extra >= 0, "extra_links must be non-negative")
+
+    graph = PropertyGraph(name=f"wan-{pops}pops", directed=False)
+    position_rng = rng.fork("positions")
+    for i in range(pops):
+        graph.add_node(f"pop-{i}", role="pop", name=f"pop-{i}",
+                       x=round(position_rng.uniform(0.0, 1.0), 4),
+                       y=round(position_rng.uniform(0.0, 1.0), 4))
+
+    def link(a: str, b: str) -> None:
+        ax, ay = graph.node_attributes(a)["x"], graph.node_attributes(a)["y"]
+        bx, by = graph.node_attributes(b)["x"], graph.node_attributes(b)["y"]
+        distance = math.hypot(ax - bx, ay - by)
+        graph.add_edge(a, b,
+                       capacity_gbps=capacity_rng.choice(params["capacities_gbps"]),
+                       latency_ms=round(1.0 + distance * 40.0, 3))
+
+    capacity_rng = rng.fork("capacities")
+    for i in range(pops):
+        link(f"pop-{i}", f"pop-{(i + 1) % pops}")
+    chord_rng = rng.fork("chords")
+    added = 0
+    attempts = 0
+    while added < extra and attempts < extra * 50 + 50:
+        attempts += 1
+        a = chord_rng.randint(0, pops - 1)
+        b = chord_rng.randint(0, pops - 1)
+        if a == b or graph.has_edge(f"pop-{a}", f"pop-{b}"):
+            continue
+        link(f"pop-{a}", f"pop-{b}")
+        added += 1
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# ring / star / mesh
+# ---------------------------------------------------------------------------
+def _build_ring(params: Dict[str, Any], rng: DeterministicRng) -> PropertyGraph:
+    n = params["node_count"]
+    require(n >= 3, f"ring needs at least 3 nodes, got {n}")
+    graph = PropertyGraph(name=f"ring-{n}", directed=False)
+    for i in range(n):
+        graph.add_node(f"ring-{i}", role="switch", name=f"ring-{i}")
+    for i in range(n):
+        graph.add_edge(f"ring-{i}", f"ring-{(i + 1) % n}",
+                       capacity_gbps=params["capacity_gbps"],
+                       latency_ms=params["latency_ms"])
+    return graph
+
+
+def _build_star(params: Dict[str, Any], rng: DeterministicRng) -> PropertyGraph:
+    leaves = params["leaf_count"]
+    require(leaves >= 1, f"star needs at least 1 leaf, got {leaves}")
+    graph = PropertyGraph(name=f"star-{leaves}", directed=False)
+    graph.add_node("hub", role="hub", name="hub")
+    for i in range(leaves):
+        leaf = f"leaf-{i}"
+        graph.add_node(leaf, role="leaf", name=leaf)
+        graph.add_edge("hub", leaf,
+                       capacity_gbps=params["capacity_gbps"],
+                       latency_ms=params["latency_ms"])
+    return graph
+
+
+def _build_mesh(params: Dict[str, Any], rng: DeterministicRng) -> PropertyGraph:
+    n = params["node_count"]
+    require(n >= 2, f"mesh needs at least 2 nodes, got {n}")
+    connectivity = params["connectivity"]
+    require(0.0 <= connectivity <= 1.0,
+            f"mesh connectivity must be in [0, 1], got {connectivity}")
+    graph = PropertyGraph(name=f"mesh-{n}", directed=False)
+    for i in range(n):
+        graph.add_node(f"m{i}", role="router", name=f"mesh-{i}")
+    pick = rng.fork("pairs")
+    for i in range(n):
+        for j in range(i + 1, n):
+            # the ring of consecutive nodes is always kept so a partial mesh
+            # stays connected; other chords appear with the given probability
+            consecutive = j == i + 1 or (i == 0 and j == n - 1)
+            if not consecutive and pick.random() >= connectivity:
+                continue
+            graph.add_edge(f"m{i}", f"m{j}",
+                           capacity_gbps=params["capacity_gbps"],
+                           latency_ms=params["latency_ms"])
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# geometric (MANET-style)
+# ---------------------------------------------------------------------------
+def _build_geometric(params: Dict[str, Any], rng: DeterministicRng) -> PropertyGraph:
+    n = params["node_count"]
+    require(n >= 2, f"geometric needs at least 2 nodes, got {n}")
+    radius = params["radius"]
+    require(radius > 0, f"geometric radius must be positive, got {radius}")
+    max_capacity = params["max_capacity_gbps"]
+
+    graph = PropertyGraph(name=f"geometric-{n}", directed=False)
+    position_rng = rng.fork("positions")
+    positions = []
+    for i in range(n):
+        x = round(position_rng.uniform(0.0, 1.0), 4)
+        y = round(position_rng.uniform(0.0, 1.0), 4)
+        positions.append((x, y))
+        graph.add_node(f"mn-{i}", role="mobile", name=f"mobile-{i}", x=x, y=y)
+    for i in range(n):
+        for j in range(i + 1, n):
+            xi, yi = positions[i]
+            xj, yj = positions[j]
+            distance = math.hypot(xi - xj, yi - yj)
+            if distance > radius:
+                continue
+            # link quality (and hence capacity) decays with distance, the way
+            # a shared radio medium behaves in the SiNE-style emulations
+            quality = 1.0 - distance / radius
+            graph.add_edge(f"mn-{i}", f"mn-{j}",
+                           capacity_gbps=max(round(max_capacity * quality, 2), 0.01),
+                           latency_ms=round(0.5 + distance * 10.0, 3))
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# wrappers around the two seed generators
+# ---------------------------------------------------------------------------
+def _build_random_traffic(params: Dict[str, Any], rng: DeterministicRng) -> PropertyGraph:
+    from repro.traffic.generator import CommunicationGraphConfig, generate_communication_graph
+
+    config = CommunicationGraphConfig(node_count=params["node_count"],
+                                      edge_count=params["edge_count"],
+                                      prefix_count=params["prefix_count"],
+                                      seed=rng.seed)
+    return generate_communication_graph(config)
+
+
+def _build_malt(params: Dict[str, Any], rng: DeterministicRng) -> PropertyGraph:
+    from repro.malt.generator import MaltTopologyConfig, generate_malt_topology
+
+    config = MaltTopologyConfig(seed=rng.seed, **params)
+    return generate_malt_topology(config)
+
+
+# ---------------------------------------------------------------------------
+# registration
+# ---------------------------------------------------------------------------
+register_family(TopologyFamily(
+    name="fat-tree",
+    description="k-ary fat-tree/Clos fabric: core, aggregation and edge "
+                "switches plus optional hosts per edge switch",
+    builder=_build_fat_tree,
+    defaults={"k": 4, "hosts_per_edge": 2, "core_capacity_gbps": 40,
+              "agg_capacity_gbps": 10, "host_capacity_gbps": 1},
+))
+
+register_family(TopologyFamily(
+    name="wan-backbone",
+    description="continental WAN backbone: POPs on a plane, a resilient ring "
+                "plus random chords, distance-proportional latency",
+    builder=_build_wan_backbone,
+    defaults={"pop_count": 12, "extra_links": 6,
+              "capacities_gbps": (10, 40, 100)},
+))
+
+register_family(TopologyFamily(
+    name="ring",
+    description="bidirectional ring of switches",
+    builder=_build_ring,
+    defaults={"node_count": 8, "capacity_gbps": 10, "latency_ms": 1.0},
+))
+
+register_family(TopologyFamily(
+    name="star",
+    description="hub-and-spoke star",
+    builder=_build_star,
+    defaults={"leaf_count": 8, "capacity_gbps": 10, "latency_ms": 0.5},
+))
+
+register_family(TopologyFamily(
+    name="mesh",
+    description="full or partial mesh (connectivity 1.0 = full); a ring "
+                "backbone keeps partial meshes connected",
+    builder=_build_mesh,
+    defaults={"node_count": 6, "connectivity": 1.0, "capacity_gbps": 25,
+              "latency_ms": 0.8},
+))
+
+register_family(TopologyFamily(
+    name="geometric",
+    description="MANET-style random geometric graph: nodes on the unit "
+                "square, links within a radio radius, capacity decaying "
+                "with distance",
+    builder=_build_geometric,
+    defaults={"node_count": 30, "radius": 0.35, "max_capacity_gbps": 1.0},
+))
+
+register_family(TopologyFamily(
+    name="random-traffic",
+    description="the seed random communication graph (traffic dispersion "
+                "graph) with byte/connection/packet edge weights",
+    builder=_build_random_traffic,
+    defaults={"node_count": 40, "edge_count": 40, "prefix_count": 4},
+))
+
+register_family(TopologyFamily(
+    name="malt",
+    description="the seed synthetic MALT hierarchy (datacenters, pods, "
+                "racks, chassis, switches, ports, control points)",
+    builder=_build_malt,
+    defaults={"datacenters": 1, "pods_per_datacenter": 2, "racks_per_pod": 2,
+              "chassis_per_rack": 2, "switches_per_chassis": 2,
+              "ports_per_switch": 3, "control_points": 4, "port_links": 6},
+))

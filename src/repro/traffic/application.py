@@ -32,6 +32,19 @@ class TrafficAnalysisApplication(NetworkApplication):
                                           seed=seed)
         return cls(config=config)
 
+    @classmethod
+    def from_scenario(cls, spec_or_name, at_time: Optional[float] = None) -> "TrafficAnalysisApplication":
+        """Build the application from a scenario spec or registered name.
+
+        The scenario is replayed through the event engine and the resulting
+        graph (final state, or the state at *at_time*) is annotated with the
+        traffic schema (addresses, device types, flow counters).
+        """
+        from repro.scenarios.overlay import traffic_application_from_scenario
+
+        return traffic_application_from_scenario(spec_or_name, at_time=at_time,
+                                                 application_cls=cls)
+
     def context(self) -> ApplicationContext:
         return ApplicationContext(
             application_name="Network traffic analysis",

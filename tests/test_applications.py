@@ -63,6 +63,30 @@ class TestAddressing:
         for address in allocator.allocate_many(50):
             assert prefix16(address) in prefixes
 
+    @staticmethod
+    def _fill_pinned_prefix(allocator, skip_third_octet=None):
+        # mark every address the allocator could draw (fourth octet 1..254)
+        # as taken, optionally leaving one /24 free
+        first, second = AddressAllocator.PINNED_PREFIX
+        for third in range(256):
+            if third == skip_third_octet:
+                continue
+            for fourth in range(1, 255):
+                allocator._allocated.add(f"{first}.{second}.{third}.{fourth}")
+
+    def test_allocator_exhaustion_raises(self):
+        allocator = AddressAllocator(DeterministicRng(5), prefix_count=1)
+        self._fill_pinned_prefix(allocator)
+        with pytest.raises(RuntimeError, match="address space exhausted"):
+            allocator.allocate()
+
+    def test_allocator_finds_remaining_addresses_before_exhausting(self):
+        allocator = AddressAllocator(DeterministicRng(5), prefix_count=1)
+        self._fill_pinned_prefix(allocator, skip_third_octet=0)
+        address = allocator.allocate()
+        assert address.startswith("15.76.0.")
+        assert address in allocator._allocated
+
 
 class TestCommunicationGraphGenerator:
     def test_respects_requested_size(self):

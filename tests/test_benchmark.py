@@ -21,6 +21,7 @@ from repro.benchmark.runner import MALT_BACKENDS, TRAFFIC_BACKENDS
 from repro.frames import DataFrame
 from repro.llm.calibration import DEFAULT_CALIBRATION
 from repro.sqlengine import ResultSet
+from repro.traffic import TrafficAnalysisApplication
 
 
 class TestQueryCorpus:
@@ -113,6 +114,21 @@ class TestGoldenSelector:
         selector = GoldenAnswerSelector()
         golden = selector.golden_for(query_by_id("ta-e1"), traffic_app.graph)
         assert selector.expected_graph(golden, traffic_app.graph) is traffic_app.graph
+
+    def test_golden_cache_survives_graph_id_reuse(self):
+        # regression: the cache keys on id(graph); once a graph is garbage
+        # collected its address can be recycled by a different graph, which
+        # used to serve a stale golden in multi-scenario sweeps
+        import gc
+
+        selector = GoldenAnswerSelector()
+        query = query_by_id("ta-e1")
+        for size in (10, 20, 30, 40):
+            application = TrafficAnalysisApplication.with_size(size, size)
+            golden = selector.golden_for(query, application.graph)
+            assert golden.value == size
+            del application
+            gc.collect()
 
 
 class TestErrorClassifier:
