@@ -12,12 +12,15 @@ The package layers, bottom-up:
 * evaluation: :mod:`repro.benchmark` (the NeMoEval benchmark),
   :mod:`repro.techniques` (pass@k, self-debug, selection), and
   :mod:`repro.cost` (cost/scalability analysis);
+* execution: :mod:`repro.exec` (the deterministic parallel execution
+  fabric — task sets, serial/process-pool executors, content-keyed result
+  caching — that every sweep dispatches through);
 * scenario diversity: :mod:`repro.scenarios` (structured topology families,
   declarative scenario specs, and the dynamic-event engine).
 
 See ``DESIGN.md`` for the full system inventory and the experiment index.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["__version__"]

@@ -8,12 +8,13 @@ which is exactly the content of the paper's Tables 2, 3, 4 and 5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.benchmark.evaluator import EvaluationRecord, ResultsEvaluator
 from repro.benchmark.goldens import GoldenAnswerSelector
 from repro.benchmark.logger import ResultsLogger
+from repro.benchmark.tasks import benchmark_cell_task
 from repro.benchmark.queries import (
     BenchmarkQuery,
     COMPLEXITY_LEVELS,
@@ -22,6 +23,7 @@ from repro.benchmark.queries import (
 )
 from repro.core.application import NetworkApplication
 from repro.core.pipeline import NetworkManagementPipeline, QueryRequest
+from repro.exec import ExecutionOptions, RunReport, TaskSet, run_with_options
 from repro.llm.calibration import CalibrationTable
 from repro.llm.catalog import DEFAULT_MODELS, create_provider
 from repro.malt import MaltApplication, MaltTopologyConfig
@@ -47,6 +49,11 @@ class BenchmarkConfig:
     malt_config: Optional[MaltTopologyConfig] = None
     seed: int = 7
     calibration: Optional[CalibrationTable] = None
+    #: per-cell provider round-trip model (seconds).  The simulated LLMs
+    #: answer instantly; real hosted models spend most of a cell's wall time
+    #: on the network.  A non-zero value restores that latency-bound profile
+    #: (used by the parallel-speedup benchmark); accuracy is unaffected.
+    simulated_api_latency_s: float = 0.0
 
     def traffic_application(self) -> TrafficAnalysisApplication:
         return TrafficAnalysisApplication(config=CommunicationGraphConfig(
@@ -60,6 +67,49 @@ class BenchmarkConfig:
 
     def malt_application(self) -> MaltApplication:
         return MaltApplication(config=self.malt_config)
+
+    # ------------------------------------------------------------------
+    # serialization: benchmark cells cross process boundaries as plain data
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-friendly dump of everything a worker needs to rebuild apps.
+
+        ``models`` is deliberately excluded — each task names its model
+        explicitly, so the model list never perturbs cache keys.
+        """
+        return {
+            "traffic_node_count": self.traffic_node_count,
+            "traffic_edge_count": self.traffic_edge_count,
+            "strawman_node_count": self.strawman_node_count,
+            "strawman_edge_count": self.strawman_edge_count,
+            "malt_config": asdict(self.malt_config) if self.malt_config else None,
+            "seed": self.seed,
+            "calibration": self.calibration.to_dict() if self.calibration else None,
+            "simulated_api_latency_s": self.simulated_api_latency_s,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "BenchmarkConfig":
+        malt_config = None
+        if payload.get("malt_config") is not None:
+            fields_ = dict(payload["malt_config"])
+            for tuple_field in ("switch_capacities_gbps", "vendors", "port_speeds_gbps"):
+                if tuple_field in fields_:
+                    fields_[tuple_field] = tuple(fields_[tuple_field])
+            malt_config = MaltTopologyConfig(**fields_)
+        calibration = None
+        if payload.get("calibration") is not None:
+            calibration = CalibrationTable.from_dict(payload["calibration"])
+        return cls(
+            traffic_node_count=payload["traffic_node_count"],
+            traffic_edge_count=payload["traffic_edge_count"],
+            strawman_node_count=payload["strawman_node_count"],
+            strawman_edge_count=payload["strawman_edge_count"],
+            malt_config=malt_config,
+            seed=payload["seed"],
+            calibration=calibration,
+            simulated_api_latency_s=payload.get("simulated_api_latency_s", 0.0),
+        )
 
 
 @dataclass
@@ -121,12 +171,31 @@ class AccuracyReport:
 
 
 class BenchmarkRunner:
-    """Run NeMoEval end to end for one or both applications."""
+    """Run NeMoEval end to end for one or both applications.
 
-    def __init__(self, config: Optional[BenchmarkConfig] = None) -> None:
+    Sweeps (``run_application``, ``run_scenario``, ``run_scenario_suite``)
+    are dispatched through the :mod:`repro.exec` fabric: every (application,
+    backend, query, model) cell becomes a task, executed serially or on a
+    process pool according to *execution*, with results folded back in task
+    order — so the produced tables are byte-identical regardless of the
+    executor or cache state.
+    """
+
+    def __init__(self, config: Optional[BenchmarkConfig] = None,
+                 execution: Optional[ExecutionOptions] = None) -> None:
         self.config = config or BenchmarkConfig()
+        self.execution = execution or ExecutionOptions()
         self.evaluator = ResultsEvaluator()
         self.goldens = GoldenAnswerSelector()
+        #: telemetry of the most recent fabric dispatch (None before any sweep)
+        self.last_run_report: Optional[RunReport] = None
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, task_set: TaskSet) -> List[EvaluationRecord]:
+        """Run a task set through the fabric; cell failures raise loudly."""
+        run_report = run_with_options(task_set, self.execution)
+        self.last_run_report = run_report
+        return run_report.values()  # raises TaskExecutionError on any failure
 
     # ------------------------------------------------------------------
     def run_query(self, application: NetworkApplication, query: BenchmarkQuery,
@@ -154,19 +223,22 @@ class BenchmarkRunner:
         report = AccuracyReport(application=application_name, backends=list(backends),
                                 models=models)
 
-        if application_name == "traffic_analysis":
-            main_application = self.config.traffic_application()
-            strawman_application = self.config.strawman_application()
-        else:
-            main_application = self.config.malt_application()
-            strawman_application = main_application
-
+        config_payload = self.config.to_payload()
+        task_set = TaskSet(name=f"benchmark/{application_name}")
         for backend in backends:
-            application = strawman_application if backend == "strawman" else main_application
+            # the paper only runs the strawman's shrunken graph on traffic
+            # analysis; a MALT strawman sweep keeps the full MALT state
+            if backend == "strawman" and application_name == "traffic_analysis":
+                app_context = {"kind": "strawman"}
+            else:
+                app_context = {"kind": "generated", "application": application_name}
             for query in queries_for(application_name):
                 for model in models:
-                    record = self.run_query(application, query, model, backend)
-                    report.logger.log(record)
+                    task_set.add(benchmark_cell_task(
+                        application_name, config_payload, app_context,
+                        backend, query.query_id, model))
+        for record in self._dispatch(task_set):
+            report.logger.log(record)
         return report
 
     def run_all(self) -> Dict[str, AccuracyReport]:
@@ -190,32 +262,67 @@ class BenchmarkRunner:
         the MALT corpus, every other family runs the traffic corpus over the
         traffic-annotated graph.
         """
-        from repro.scenarios.overlay import application_from_scenario, resolve_spec
+        from repro.scenarios.overlay import resolve_spec
 
         spec = resolve_spec(spec)
-        application = application_from_scenario(spec)
         models = list(models or self.config.models)
         if queries is None:
             queries = queries_for("malt" if spec.family == "malt" else "traffic_analysis")
         report = AccuracyReport(application=f"scenario:{spec.name}",
                                 backends=list(backends), models=models)
+        task_set = TaskSet(name=f"benchmark/scenario/{spec.name}")
+        self._add_scenario_tasks(task_set, spec, backends, queries, models)
+        for record in self._dispatch(task_set):
+            report.logger.log(record)
+        return report
+
+    def _add_scenario_tasks(self, task_set: TaskSet, spec, backends, queries,
+                            models) -> int:
+        """Append one task per (backend, query, model) cell of one scenario."""
+        config_payload = self.config.to_payload()
+        app_context = {"kind": "scenario", "spec": spec.to_dict()}
+        added = 0
         for backend in backends:
             for query in queries:
                 for model in models:
-                    record = self.run_query(application, query, model, backend)
-                    report.logger.log(record)
-        return report
+                    task_set.add(benchmark_cell_task(
+                        f"scenario:{spec.name}", config_payload, app_context,
+                        backend, query.query_id, model))
+                    added += 1
+        return added
 
     def run_scenario_suite(self, suite=None, models: Optional[Sequence[str]] = None,
                            backends: Sequence[str] = ("networkx",),
                            queries: Optional[Sequence[BenchmarkQuery]] = None,
                            ) -> Dict[str, AccuracyReport]:
-        """Sweep a whole scenario suite; scenario name -> accuracy report."""
+        """Sweep a whole scenario suite; scenario name -> accuracy report.
+
+        The whole suite becomes **one** task set, so with a parallel
+        executor the sweep scales across scenarios as well as across the
+        cells inside each scenario.
+        """
+        from repro.scenarios.overlay import resolve_spec
         from repro.scenarios.suite import default_suite
 
         if suite is None:
             suite = default_suite()
         suite.validate()
-        return {spec.name: self.run_scenario(spec, models=models, backends=backends,
-                                             queries=queries)
-                for spec in suite.scenarios}
+        models = list(models or self.config.models)
+
+        task_set = TaskSet(name=f"benchmark/suite/{suite.name}")
+        reports: Dict[str, AccuracyReport] = {}
+        owners: List[str] = []
+        for spec in suite.scenarios:
+            spec = resolve_spec(spec)
+            scenario_queries = (queries if queries is not None else queries_for(
+                "malt" if spec.family == "malt" else "traffic_analysis"))
+            reports[spec.name] = AccuracyReport(
+                application=f"scenario:{spec.name}", backends=list(backends),
+                models=models)
+            added = self._add_scenario_tasks(task_set, spec, backends,
+                                             scenario_queries, models)
+            owners.extend([spec.name] * added)
+
+        for owner, record in zip(owners, self._dispatch(task_set)):
+            reports[owner].logger.log(record)
+        return reports

@@ -1,0 +1,90 @@
+"""Benchmark cells as execution-fabric tasks.
+
+One task is one (application, backend, query, model) cell of the accuracy
+grid.  The payload carries the full benchmark config plus an *application
+context* describing which network state the cell runs against — a generated
+application, the small strawman variant, or a replayed scenario.  Workers
+rebuild that state deterministically and memoize it per process via
+:func:`repro.exec.workers.worker_context`, so a chunk of cells sharing a
+context (same shard group) pays the rebuild once.
+
+Cell purity is inherited from the stack: topology generators, scenario
+replay, providers, and goldens are all pure functions of their inputs, which
+is what lets serial and parallel sweeps produce byte-identical tables and
+lets results be cached by content digest.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+from repro.benchmark.queries import query_by_id
+from repro.exec.task import Task
+from repro.exec.workers import worker_context
+from repro.utils.hashing import stable_hash
+
+#: dotted-path reference resolved inside worker processes
+BENCHMARK_CELL_WORKER = "repro.benchmark.tasks:run_benchmark_cell"
+
+
+def benchmark_cell_task(report_name: str, config_payload: Dict[str, Any],
+                        app_context: Dict[str, Any], backend: str,
+                        query_id: str, model: str) -> Task:
+    """Describe one accuracy-grid cell as a fabric task.
+
+    *app_context* is one of::
+
+        {"kind": "generated", "application": "traffic_analysis" | "malt"}
+        {"kind": "strawman"}
+        {"kind": "scenario", "spec": <ScenarioSpec dict>}
+    """
+    return Task(
+        key=f"bench/{report_name}/{backend}/{query_id}/{model}",
+        fn=BENCHMARK_CELL_WORKER,
+        payload={
+            "config": config_payload,
+            "app": app_context,
+            "backend": backend,
+            "query_id": query_id,
+            "model": model,
+        },
+        # one group per network state: cells sharing it chunk together and
+        # reuse the worker-process application memo
+        group=f"{report_name}/{app_context['kind']}"
+              + (f"/{app_context['spec']['name']}" if app_context["kind"] == "scenario" else "")
+              + ("/strawman" if app_context["kind"] == "strawman" else ""),
+    )
+
+
+def _build_application(config_payload: Dict[str, Any], app_context: Dict[str, Any]):
+    from repro.benchmark.runner import BenchmarkConfig
+
+    config = BenchmarkConfig.from_payload(config_payload)
+    kind = app_context["kind"]
+    if kind == "scenario":
+        from repro.scenarios.overlay import application_from_scenario
+        from repro.scenarios.spec import ScenarioSpec
+
+        return application_from_scenario(ScenarioSpec.from_dict(app_context["spec"]))
+    if kind == "strawman":
+        return config.strawman_application()
+    if app_context["application"] == "malt":
+        return config.malt_application()
+    return config.traffic_application()
+
+
+def run_benchmark_cell(payload: Dict[str, Any]):
+    """Worker: run one cell and return its :class:`EvaluationRecord`."""
+    from repro.benchmark.runner import BenchmarkConfig, BenchmarkRunner
+
+    latency = payload["config"].get("simulated_api_latency_s") or 0.0
+    if latency:
+        time.sleep(latency)  # model the hosted provider's round trip
+    context_key = ("benchmark-application",
+                   stable_hash(payload["config"], payload["app"]))
+    application = worker_context(
+        context_key, lambda: _build_application(payload["config"], payload["app"]))
+    runner = BenchmarkRunner(BenchmarkConfig.from_payload(payload["config"]))
+    query = query_by_id(payload["query_id"])
+    return runner.run_query(application, query, payload["model"], payload["backend"])

@@ -25,12 +25,32 @@ from repro.benchmark.errors import ERROR_TYPE_LABELS
 from repro.benchmark.queries import malt_queries, traffic_queries
 from repro.core import NetworkManagementPipeline
 from repro.cost import CostAnalyzer
+from repro.exec import DEFAULT_CACHE_DIR, ExecutionOptions
 from repro.llm import available_models, create_provider
 from repro.malt import MaltApplication
 from repro.techniques import ImprovementCaseStudy
 from repro.traffic import TrafficAnalysisApplication
 from repro.utils.tables import format_table
-from repro.utils.validation import ValidationError
+from repro.utils.validation import ValidationError, require
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared execution-fabric knobs of the sweep commands."""
+    group = parser.add_argument_group("execution fabric")
+    group.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the sweep (default 1 = serial; "
+                            "results are byte-identical at any job count)")
+    group.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+                       help="content-keyed result cache directory "
+                            f"(default {DEFAULT_CACHE_DIR})")
+    group.add_argument("--no-cache", action="store_true",
+                       help="recompute every cell, bypassing the result cache")
+
+
+def _execution_options(args: argparse.Namespace) -> ExecutionOptions:
+    require(args.jobs >= 1, f"--jobs must be at least 1, got {args.jobs}")
+    return ExecutionOptions(jobs=args.jobs,
+                            cache=None if args.no_cache else args.cache_dir)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,11 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use a small MALT topology instead of the paper-scale one")
     bench.add_argument("--json", dest="json_path", default=None,
                        help="write the full result log to this JSON file")
+    _add_execution_arguments(bench)
 
     cost = subparsers.add_parser("cost", help="run the cost/scalability analysis")
     cost.add_argument("--model", choices=available_models(), default="gpt-4")
     cost.add_argument("--sizes", nargs="*", type=int,
                       default=[40, 80, 120, 160, 200, 300, 400])
+    _add_execution_arguments(cost)
 
     improve = subparsers.add_parser("improve", help="run the pass@k / self-debug case study")
     improve.add_argument("--model", choices=available_models(), default="bard")
@@ -93,6 +115,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="replay the event timeline and show snapshots")
     generate.add_argument("--json", dest="json_path", default=None,
                           help="write the generated graph to this JSON file")
+    lock = scenario_sub.add_parser(
+        "lock", help="export the built-in scenario corpus and its digest lockfile")
+    lock.add_argument("--dir", dest="corpus_dir", default="scenarios",
+                      help="corpus directory (default ./scenarios)")
+    lock.add_argument("--check", action="store_true",
+                      help="verify the on-disk corpus against freshly replayed "
+                           "digests instead of rewriting it")
     return parser
 
 
@@ -128,11 +157,16 @@ def _cmd_benchmark(args: argparse.Namespace) -> int:
         config.malt_config = MaltTopologyConfig(
             datacenters=1, pods_per_datacenter=2, racks_per_pod=2, chassis_per_rack=2,
             switches_per_chassis=4, ports_per_switch=3, control_points=4, port_links=6)
-    runner = BenchmarkRunner(config)
+    runner = BenchmarkRunner(config, execution=_execution_options(args))
     applications = {"traffic": ["traffic_analysis"], "malt": ["malt"],
                     "all": ["traffic_analysis", "malt"]}[args.application]
     for application in applications:
         report = runner.run_application(application, models=args.models)
+        if runner.last_run_report is not None:
+            fabric = runner.last_run_report
+            print(f"# fabric: {len(fabric.results)} cells, jobs={fabric.jobs}, "
+                  f"cache hits {fabric.cache_hits}/{len(fabric.results)}, "
+                  f"wall {fabric.wall_time_s:.2f}s")
         print(report.render_summary())
         print()
         print(report.render_breakdown())
@@ -149,7 +183,7 @@ def _cmd_benchmark(args: argparse.Namespace) -> int:
 
 
 def _cmd_cost(args: argparse.Namespace) -> int:
-    analyzer = CostAnalyzer(model=args.model)
+    analyzer = CostAnalyzer(model=args.model, execution=_execution_options(args))
     cdfs = analyzer.cost_cdf()
     rows = []
     for backend, cdf in cdfs.items():
@@ -158,6 +192,11 @@ def _cmd_cost(args: argparse.Namespace) -> int:
                        title="Per-query cost at 80 nodes+edges", float_format="{:.4f}"))
     print()
     sweep = analyzer.scalability_sweep(graph_sizes=args.sizes)
+    if analyzer.last_run_report is not None:
+        fabric = analyzer.last_run_report
+        print(f"# fabric: {len(fabric.results)} cells, jobs={fabric.jobs}, "
+              f"cache hits {fabric.cache_hits}/{len(fabric.results)}, "
+              f"wall {fabric.wall_time_s:.2f}s")
     rows = []
     for point in sweep.points:
         strawman = ("exceeds token limit" if point.strawman_cost_usd is None
@@ -229,6 +268,21 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         print(get_scenario(args.name).to_json())
         return 0
 
+    if args.scenario_action == "lock":
+        from repro.scenarios.corpus import verify_corpus, write_corpus
+
+        if args.check:
+            problems = verify_corpus(args.corpus_dir)
+            for problem in problems:
+                print(f"MISMATCH {problem}", file=sys.stderr)
+            if not problems:
+                print(f"corpus at {args.corpus_dir} matches its lockfile")
+            return 1 if problems else 0
+        lock = write_corpus(args.corpus_dir)
+        print(f"wrote {len(lock['scenarios'])} scenario specs and "
+              f"digests.lock.json to {args.corpus_dir}")
+        return 0
+
     if args.scenario_action == "generate":
         overrides = _parse_param_overrides(args.params)
         if args.family:
@@ -254,7 +308,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             print(f"wrote graph to {args.json_path}")
         return 0
 
-    print("usage: repro-nemo scenarios {list,describe,generate} ...")
+    print("usage: repro-nemo scenarios {list,describe,generate,lock} ...")
     return 2
 
 

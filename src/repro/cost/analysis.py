@@ -7,6 +7,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.benchmark.queries import BenchmarkQuery, traffic_queries
 from repro.core.prompts import build_prompt
+from repro.cost.tasks import scalability_task, scenario_cost_task
+from repro.exec import ExecutionOptions, RunReport, TaskSet, run_with_options
 from repro.llm.catalog import create_provider
 from repro.llm.pricing import DEFAULT_PRICING, PricingTable
 from repro.llm.tokenizer import count_tokens
@@ -90,15 +92,32 @@ class ScalabilitySweep:
 
 
 class CostAnalyzer:
-    """Compute Figure 4a (cost CDF) and Figure 4b (cost vs graph size)."""
+    """Compute Figure 4a (cost CDF) and Figure 4b (cost vs graph size).
+
+    The sweep methods (``scalability_sweep``, ``scenario_cost_sweep``)
+    dispatch their per-size / per-scenario cells through the
+    :mod:`repro.exec` fabric, so they parallelize and cache under the same
+    determinism contract as the benchmark runner: identical figures whether
+    run serially, on a process pool, or from cache.
+    """
 
     def __init__(self, model: str = "gpt-4", pricing: Optional[PricingTable] = None,
-                 completion_tokens: int = DEFAULT_COMPLETION_TOKENS) -> None:
+                 completion_tokens: int = DEFAULT_COMPLETION_TOKENS,
+                 execution: Optional[ExecutionOptions] = None) -> None:
         require_positive(completion_tokens, "completion_tokens")
         self.model = model
         self.pricing = pricing or DEFAULT_PRICING
         self.completion_tokens = completion_tokens
+        self.execution = execution or ExecutionOptions()
+        #: telemetry of the most recent fabric dispatch (None before any sweep)
+        self.last_run_report: Optional[RunReport] = None
         self._provider = create_provider(model)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, task_set: TaskSet) -> List:
+        run_report = run_with_options(task_set, self.execution)
+        self.last_run_report = run_report
+        return run_report.values()  # raises TaskExecutionError on any failure
 
     # ------------------------------------------------------------------
     def query_cost(self, application: TrafficAnalysisApplication,
@@ -145,21 +164,10 @@ class CostAnalyzer:
         evenly between nodes and edges, matching the paper's x-axis.
         """
         query = query or traffic_queries()[12]  # the color-by-prefix example query
-        sweep = ScalabilitySweep(model=self.model)
+        task_set = TaskSet(name=f"cost/scalability/{self.model}")
         for size in graph_sizes:
-            node_count = max(2, size // 2)
-            edge_count = max(1, size - node_count)
-            application = TrafficAnalysisApplication(config=CommunicationGraphConfig(
-                node_count=node_count, edge_count=edge_count, seed=seed))
-            codegen = self.query_cost(application, query, "networkx")
-            strawman = self.query_cost(application, query, "strawman")
-            sweep.points.append(ScalabilityPoint(
-                graph_size=size,
-                codegen_cost_usd=codegen.cost_usd,
-                strawman_cost_usd=strawman.cost_usd if strawman.within_token_limit else None,
-                strawman_within_limit=strawman.within_token_limit,
-            ))
-        return sweep
+            task_set.add(scalability_task(self, size, seed, query.query_id))
+        return ScalabilitySweep(model=self.model, points=self._dispatch(task_set))
 
     # ------------------------------------------------------------------
     def scenario_cost_sweep(self, scenarios: Optional[Sequence] = None,
@@ -174,29 +182,19 @@ class CostAnalyzer:
         structurally different families, not just graph sizes.
         """
         from repro.benchmark.queries import malt_queries
-        from repro.scenarios.overlay import application_from_scenario, resolve_spec
+        from repro.scenarios.overlay import resolve_spec
         from repro.scenarios.suite import default_suite
 
         if scenarios is None:
             scenarios = default_suite().scenarios
         traffic_query = query or traffic_queries()[12]  # the color-by-prefix query
         malt_query = query or malt_queries()[0]
-        points: List[ScenarioCostPoint] = []
+        task_set = TaskSet(name=f"cost/scenarios/{self.model}")
         for spec in scenarios:
             spec = resolve_spec(spec)
-            application = application_from_scenario(spec)
             representative = malt_query if spec.family == "malt" else traffic_query
-            codegen = self.query_cost(application, representative, "networkx")
-            strawman = self.query_cost(application, representative, "strawman")
-            points.append(ScenarioCostPoint(
-                scenario=spec.name,
-                family=spec.family,
-                graph_size=application.graph.node_count + application.graph.edge_count,
-                codegen_cost_usd=codegen.cost_usd,
-                strawman_cost_usd=strawman.cost_usd if strawman.within_token_limit else None,
-                strawman_within_limit=strawman.within_token_limit,
-            ))
-        return points
+            task_set.add(scenario_cost_task(self, spec, representative.query_id))
+        return self._dispatch(task_set)
 
     # ------------------------------------------------------------------
     def average_cost_per_task(self, node_count: int = 40, edge_count: int = 40,

@@ -1,0 +1,109 @@
+"""Cost-sweep cells as execution-fabric tasks.
+
+Each task reconstructs a :class:`~repro.cost.analysis.CostAnalyzer` from its
+payload (model, pricing table, completion-token assumption) and prices one
+cell: a replayed scenario (``run_scenario_cost_point``) or one graph size of
+the Figure-4b axis (``run_scalability_point``).  Token counting and pricing
+are pure functions, so the cells inherit the fabric's determinism and
+cacheability for free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.exec.task import Task
+from repro.exec.workers import worker_context
+from repro.utils.hashing import stable_hash
+
+SCENARIO_COST_WORKER = "repro.cost.tasks:run_scenario_cost_point"
+SCALABILITY_WORKER = "repro.cost.tasks:run_scalability_point"
+
+
+def _analyzer_payload(analyzer) -> Dict[str, Any]:
+    """The JSON-friendly identity of a :class:`CostAnalyzer`."""
+    return {
+        "model": analyzer.model,
+        "pricing": analyzer.pricing.to_dict(),
+        "completion_tokens": analyzer.completion_tokens,
+    }
+
+
+def scenario_cost_task(analyzer, spec, query_id: str) -> Task:
+    """One scenario's cost point as a fabric task."""
+    return Task(
+        key=f"cost/scenario/{spec.name}/{analyzer.model}/{query_id}",
+        fn=SCENARIO_COST_WORKER,
+        payload={"analyzer": _analyzer_payload(analyzer), "spec": spec.to_dict(),
+                 "query_id": query_id},
+        group=f"cost/scenario/{spec.name}",
+    )
+
+
+def scalability_task(analyzer, size: int, seed: int, query_id: str) -> Task:
+    """One graph size of the scalability sweep as a fabric task."""
+    return Task(
+        key=f"cost/scalability/{size}/{analyzer.model}/{query_id}",
+        fn=SCALABILITY_WORKER,
+        payload={"analyzer": _analyzer_payload(analyzer), "size": size,
+                 "seed": seed, "query_id": query_id},
+        # every size is its own application build; no shared context to chunk by
+        group=f"cost/scalability/{size}",
+    )
+
+
+def _rebuild_analyzer(payload: Dict[str, Any]):
+    from repro.cost.analysis import CostAnalyzer
+    from repro.llm.pricing import PricingTable
+
+    return CostAnalyzer(model=payload["model"],
+                        pricing=PricingTable.from_dict(payload["pricing"]),
+                        completion_tokens=payload["completion_tokens"])
+
+
+def run_scenario_cost_point(payload: Dict[str, Any]):
+    """Worker: price one replayed scenario; returns a ScenarioCostPoint."""
+    from repro.benchmark.queries import query_by_id
+    from repro.cost.analysis import ScenarioCostPoint
+    from repro.scenarios.overlay import application_from_scenario
+    from repro.scenarios.spec import ScenarioSpec
+
+    analyzer = _rebuild_analyzer(payload["analyzer"])
+    spec = ScenarioSpec.from_dict(payload["spec"])
+    application = worker_context(
+        ("scenario-application", stable_hash(payload["spec"])),
+        lambda: application_from_scenario(spec))
+    query = query_by_id(payload["query_id"])
+    codegen = analyzer.query_cost(application, query, "networkx")
+    strawman = analyzer.query_cost(application, query, "strawman")
+    return ScenarioCostPoint(
+        scenario=spec.name,
+        family=spec.family,
+        graph_size=application.graph.node_count + application.graph.edge_count,
+        codegen_cost_usd=codegen.cost_usd,
+        strawman_cost_usd=strawman.cost_usd if strawman.within_token_limit else None,
+        strawman_within_limit=strawman.within_token_limit,
+    )
+
+
+def run_scalability_point(payload: Dict[str, Any]):
+    """Worker: price one graph size; returns a ScalabilityPoint."""
+    from repro.benchmark.queries import query_by_id
+    from repro.cost.analysis import ScalabilityPoint
+    from repro.traffic import CommunicationGraphConfig, TrafficAnalysisApplication
+
+    analyzer = _rebuild_analyzer(payload["analyzer"])
+    size = payload["size"]
+    node_count = max(2, size // 2)
+    edge_count = max(1, size - node_count)
+    application = TrafficAnalysisApplication(config=CommunicationGraphConfig(
+        node_count=node_count, edge_count=edge_count, seed=payload["seed"]))
+    query = query_by_id(payload["query_id"])
+    codegen = analyzer.query_cost(application, query, "networkx")
+    strawman = analyzer.query_cost(application, query, "strawman")
+    return ScalabilityPoint(
+        graph_size=size,
+        codegen_cost_usd=codegen.cost_usd,
+        strawman_cost_usd=strawman.cost_usd if strawman.within_token_limit else None,
+        strawman_within_limit=strawman.within_token_limit,
+    )

@@ -1,0 +1,108 @@
+"""``run_tasks`` — the one entry point of the execution fabric.
+
+The call sequence is always: check the cache for every task (in the
+parent), dispatch only the misses through the chosen executor, fold cached
+and fresh results back into task-set order, and persist fresh successes.
+Cache lookups and stores stay in the parent process so the cache never
+needs cross-process coordination.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.exec.cache import ResultCache, resolve_cache
+from repro.exec.executors import ParallelExecutor, SerialExecutor
+from repro.exec.report import RunReport, TaskResult
+from repro.exec.task import TaskSet
+from repro.exec.workers import clear_worker_contexts
+
+
+@dataclass
+class ExecutionOptions:
+    """How a sweep owner (runner, analyzer, CLI) wants its task sets run."""
+
+    jobs: int = 1
+    cache: Union[None, str, ResultCache] = None
+    chunk_size: Optional[int] = None
+
+
+def run_tasks(task_set: TaskSet,
+              jobs: int = 1,
+              cache: Union[None, str, ResultCache] = None,
+              chunk_size: Optional[int] = None,
+              executor=None) -> RunReport:
+    """Run every task of *task_set* and return the ordered :class:`RunReport`.
+
+    Parameters
+    ----------
+    task_set:
+        The ordered, uniquely-keyed work description.
+    jobs:
+        Worker process count; ``1`` selects the in-process serial executor.
+    cache:
+        ``None`` (no caching), a directory path, or a :class:`ResultCache`.
+        Only successful results are cached; errors always re-execute.
+    chunk_size:
+        Tasks per pool submission (parallel executor only).
+    executor:
+        Explicit executor instance, overriding ``jobs``/``chunk_size``.
+
+    The report's ``results`` are in task-set order regardless of executor or
+    completion order — the determinism contract every consumer builds on.
+    """
+    task_set.validate()
+    if executor is None:
+        executor = (SerialExecutor() if jobs <= 1
+                    else ParallelExecutor(jobs=jobs, chunk_size=chunk_size))
+    result_cache = resolve_cache(cache)
+    started = time.perf_counter()
+
+    results = {}
+    pending = []
+    if result_cache is not None:
+        for task in task_set:
+            hit, value = result_cache.get(task.digest())
+            if hit:
+                results[task.key] = TaskResult(key=task.key, value=value, cached=True)
+            else:
+                pending.append(task)
+    else:
+        pending = list(task_set)
+
+    try:
+        for raw in executor.execute(pending):
+            result = TaskResult(key=raw["key"], value=raw["value"], error=raw["error"],
+                                duration_s=raw["duration_s"])
+            results[result.key] = result
+    finally:
+        if isinstance(executor, SerialExecutor):
+            # serial execution memoizes worker contexts (rebuilt applications)
+            # in *this* process; drop them so long-lived sessions don't
+            # accumulate one graph per swept configuration.  Pool workers
+            # die with their pool, so the parallel path needs no cleanup.
+            clear_worker_contexts()
+
+    if result_cache is not None:
+        fresh_by_key = {task.key: task for task in pending}
+        for key, task in fresh_by_key.items():
+            result = results[key]
+            if result.ok:
+                result_cache.put(task.digest(), key, result.value)
+
+    return RunReport(
+        task_set=task_set.name,
+        jobs=getattr(executor, "jobs", jobs),
+        results=[results[task.key] for task in task_set],
+        wall_time_s=time.perf_counter() - started,
+    )
+
+
+def run_with_options(task_set: TaskSet,
+                     options: Optional[ExecutionOptions]) -> RunReport:
+    """Dispatch *task_set* under *options* (``None`` means serial, uncached)."""
+    options = options or ExecutionOptions()
+    return run_tasks(task_set, jobs=options.jobs, cache=options.cache,
+                     chunk_size=options.chunk_size)

@@ -1,0 +1,101 @@
+"""Worker-side machinery of the execution fabric.
+
+Everything here runs inside the executing process — which is the parent for
+:class:`~repro.exec.executors.SerialExecutor` and a pool child for
+:class:`~repro.exec.executors.ParallelExecutor`.  Workers are referenced by
+dotted path (``package.module:function``) rather than by object so that task
+descriptions pickle trivially and survive any multiprocessing start method.
+
+Two contracts matter:
+
+* a worker is a **pure function of its payload** — same payload, same
+  result, in any process, in any order (the fabric's determinism guarantee
+  rests on this);
+* a worker never lets an exception escape :func:`run_task` — failures are
+  captured as per-task error strings so one bad cell cannot take down a
+  sweep.
+
+:func:`worker_context` offers process-local memoization for expensive
+deterministic setup (rebuilding an application from its config, replaying a
+scenario).  Chunking tasks by shard group means cells sharing a context land
+in the same process and rebuild it once.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Tuple
+
+
+def resolve_worker(reference: str) -> Callable[[Dict[str, Any]], Any]:
+    """Import and return the worker named by a ``module:function`` reference."""
+    module_name, _, function_name = reference.partition(":")
+    if not module_name or not function_name:
+        raise ValueError(
+            f"worker reference must look like 'package.module:function', "
+            f"got {reference!r}")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, function_name)
+    except AttributeError:
+        raise ValueError(
+            f"module {module_name!r} has no worker function {function_name!r}")
+
+
+# ---------------------------------------------------------------------------
+# process-local context memoization
+# ---------------------------------------------------------------------------
+_CONTEXT_CACHE: Dict[Tuple[Any, ...], Any] = {}
+
+
+def worker_context(key: Tuple[Any, ...], builder: Callable[[], Any]) -> Any:
+    """Build-once-per-process memoization for deterministic setup work.
+
+    *key* must capture every input of *builder* (configs, spec digests); the
+    built value is shared by every task of the same process, so it must be
+    treated as immutable by workers (copy before mutating).
+    """
+    if key not in _CONTEXT_CACHE:
+        _CONTEXT_CACHE[key] = builder()
+    return _CONTEXT_CACHE[key]
+
+
+def clear_worker_contexts() -> None:
+    """Drop all memoized contexts (test isolation hook)."""
+    _CONTEXT_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# task execution
+# ---------------------------------------------------------------------------
+def run_task(wire_task: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one wire-form task, capturing failure and timing.
+
+    Returns a plain dict (never raises): ``{"key", "ok", "value", "error",
+    "duration_s"}``.  ``value`` is only meaningful when ``ok`` is true.
+    """
+    key = wire_task["key"]
+    started = time.perf_counter()
+    try:
+        worker = resolve_worker(wire_task["fn"])
+        value = worker(wire_task["payload"])
+        return {"key": key, "ok": True, "value": value, "error": None,
+                "duration_s": time.perf_counter() - started}
+    except BaseException as error:  # noqa: BLE001 - a sweep must survive any cell
+        if isinstance(error, (KeyboardInterrupt, SystemExit)):
+            raise
+        detail = traceback.format_exc(limit=8)
+        return {"key": key, "ok": False, "value": None,
+                "error": f"{type(error).__name__}: {error}\n{detail}",
+                "duration_s": time.perf_counter() - started}
+
+
+def run_chunk(wire_tasks: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Execute a chunk of tasks sequentially in this process.
+
+    The pool submits chunks (not single tasks) so that shard groups reuse
+    their :func:`worker_context` and per-submission overhead amortizes.
+    """
+    return [run_task(wire_task) for wire_task in wire_tasks]

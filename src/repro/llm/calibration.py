@@ -97,6 +97,19 @@ ERROR_TYPE_WEIGHTS = {
 }
 
 
+ReliabilityTable = Dict[Tuple[str, str], Tuple[float, float, float]]
+
+
+def _table_to_rows(table: ReliabilityTable) -> list:
+    """Flatten a reliability table into sorted JSON-friendly rows."""
+    return [[model, backend, list(fractions)]
+            for (model, backend), fractions in sorted(table.items())]
+
+
+def _rows_to_table(rows: list) -> ReliabilityTable:
+    return {(model, backend): tuple(fractions) for model, backend, fractions in rows}
+
+
 @dataclass(frozen=True)
 class TechniqueCalibration:
     """Behaviour of the complementary synthesis techniques (paper Table 6)."""
@@ -124,6 +137,30 @@ class CalibrationTable:
             "malt": dict(malt if malt is not None else _MALT),
         }
         self.technique = technique or TechniqueCalibration()
+
+    # ------------------------------------------------------------------
+    # serialization (so calibrated sweeps can cross process boundaries in
+    # the execution fabric and participate in content-keyed result caching)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-friendly dump of the full calibration."""
+        return {
+            "traffic": _table_to_rows(self._tables["traffic_analysis"]),
+            "malt": _table_to_rows(self._tables["malt"]),
+            "technique": {
+                "pass_at_5_recovery": self.technique.pass_at_5_recovery,
+                "self_debug_fix_rate": self.technique.self_debug_fix_rate,
+                "max_recovery_attempt": self.technique.max_recovery_attempt,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CalibrationTable":
+        return cls(
+            traffic=_rows_to_table(payload["traffic"]),
+            malt=_rows_to_table(payload["malt"]),
+            technique=TechniqueCalibration(**payload["technique"]),
+        )
 
     # ------------------------------------------------------------------
     def reliability(self, model: str, application: str, backend: str,

@@ -46,6 +46,20 @@ class PricingTable:
     def cost(self, model: str, prompt_tokens: int, completion_tokens: int) -> float:
         return self.for_model(model).cost(prompt_tokens, completion_tokens)
 
+    # ------------------------------------------------------------------
+    # serialization (cost-sweep tasks carry their pricing across processes)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        """Lossless JSON-friendly dump of the table."""
+        return {model: {"prompt_per_1k": pricing.prompt_per_1k,
+                        "completion_per_1k": pricing.completion_per_1k}
+                for model, pricing in sorted(self._prices.items())}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Dict[str, float]]) -> "PricingTable":
+        return cls({model: ModelPricing(**fields)
+                    for model, fields in payload.items()})
+
 
 #: Azure OpenAI pricing (USD / 1k tokens) as of mid-2023, plus stand-ins for
 #: models without public pricing.

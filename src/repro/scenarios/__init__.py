@@ -17,7 +17,9 @@ scenario axis toward "as many scenarios as you can imagine":
 * :mod:`repro.scenarios.overlay` — build benchmark applications from a
   scenario's state (traffic attribute overlay, MALT passthrough);
 * :mod:`repro.scenarios.suite` — multi-scenario suites swept by the
-  benchmark runner and the cost analyzer.
+  benchmark runner and the cost analyzer;
+* :mod:`repro.scenarios.corpus` — the on-disk spec corpus (``scenarios/``)
+  and its digest lockfile.
 """
 
 from repro.scenarios.topologies import (
@@ -61,6 +63,12 @@ from repro.scenarios.overlay import (
     traffic_application_from_scenario,
 )
 from repro.scenarios.suite import ScenarioSuite, default_suite
+from repro.scenarios.corpus import (
+    corpus_spec_paths,
+    read_lockfile,
+    verify_corpus,
+    write_corpus,
+)
 
 __all__ = [
     "TopologyFamily",
@@ -95,4 +103,8 @@ __all__ = [
     "traffic_application_from_scenario",
     "ScenarioSuite",
     "default_suite",
+    "corpus_spec_paths",
+    "read_lockfile",
+    "verify_corpus",
+    "write_corpus",
 ]

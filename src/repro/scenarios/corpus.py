@@ -1,0 +1,125 @@
+"""The on-disk scenario corpus and its digest lockfile.
+
+The ``scenarios/`` directory at the repository root holds one JSON
+:class:`~repro.scenarios.spec.ScenarioSpec` per built-in scenario plus a
+lockfile (``digests.lock.json``) recording, for every spec, the snapshot
+digests its replay must produce.  The lockfile turns topology-generator and
+event-engine regressions into content-hash mismatches: if any change alters
+what a locked scenario replays into, the corpus test fails with the exact
+digest that moved.
+
+``repro scenarios lock`` (re)writes the corpus; ``repro scenarios lock
+--check`` and the tier-1 test verify it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.scenarios.engine import replay_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+LOCKFILE_NAME = "digests.lock.json"
+LOCKFILE_FORMAT_VERSION = 1
+
+
+def spec_filename(name: str) -> str:
+    return f"{name}.json"
+
+
+def replay_digests(spec: ScenarioSpec) -> List[str]:
+    """The per-snapshot content digests a spec's replay produces."""
+    return replay_scenario(spec).digests()
+
+
+def _lock_entry(spec: ScenarioSpec) -> Dict[str, object]:
+    timeline = replay_scenario(spec)
+    final = timeline.final_graph
+    return {
+        "file": spec_filename(spec.name),
+        "family": spec.family,
+        "seed": spec.seed,
+        "events": len(spec.events),
+        "snapshot_digests": timeline.digests(),
+        "final_nodes": final.node_count,
+        "final_edges": final.edge_count,
+    }
+
+
+def write_corpus(directory, specs: Optional[Sequence[ScenarioSpec]] = None) -> Dict[str, object]:
+    """Write one JSON file per spec plus the digest lockfile.
+
+    Defaults to the built-in scenario registry.  Returns the lock payload.
+    """
+    from repro.scenarios.registry import builtin_scenarios
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    specs = list(specs if specs is not None else builtin_scenarios())
+
+    lock: Dict[str, object] = {
+        "format_version": LOCKFILE_FORMAT_VERSION,
+        "scenarios": {},
+    }
+    for spec in sorted(specs, key=lambda item: item.name):
+        spec.validate()
+        spec.save(str(directory / spec_filename(spec.name)))
+        lock["scenarios"][spec.name] = _lock_entry(spec)
+    lock_path = directory / LOCKFILE_NAME
+    lock_path.write_text(json.dumps(lock, indent=2, sort_keys=True) + "\n",
+                         encoding="utf-8")
+    return lock
+
+
+def read_lockfile(directory) -> Dict[str, object]:
+    path = Path(directory) / LOCKFILE_NAME
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def corpus_spec_paths(directory) -> List[Path]:
+    """Every spec file of the corpus (the lockfile itself excluded)."""
+    directory = Path(directory)
+    return sorted(path for path in directory.glob("*.json")
+                  if path.name != LOCKFILE_NAME)
+
+
+def verify_corpus(directory) -> List[str]:
+    """Replay every corpus spec and compare against the lockfile.
+
+    Returns a list of human-readable problems; an empty list means the
+    corpus, the lockfile, and the replayed digests all agree.
+    """
+    directory = Path(directory)
+    problems: List[str] = []
+    try:
+        lock = read_lockfile(directory)
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"unreadable lockfile {LOCKFILE_NAME}: {error}"]
+    locked = dict(lock.get("scenarios", {}))
+
+    spec_paths = corpus_spec_paths(directory)
+    seen = set()
+    for path in spec_paths:
+        try:
+            spec = ScenarioSpec.load(str(path))
+        except Exception as error:  # noqa: BLE001 - report, don't abort the scan
+            problems.append(f"{path.name}: failed to load: {error}")
+            continue
+        seen.add(spec.name)
+        entry = locked.get(spec.name)
+        if entry is None:
+            problems.append(f"{path.name}: scenario {spec.name!r} missing from lockfile")
+            continue
+        if entry.get("file") != path.name:
+            problems.append(f"{path.name}: lockfile expects file {entry.get('file')!r}")
+        digests = replay_digests(spec)
+        if digests != entry.get("snapshot_digests"):
+            problems.append(
+                f"{path.name}: snapshot digests diverged from the lockfile "
+                f"(locked {entry.get('snapshot_digests')}, replayed {digests})")
+    for name in sorted(set(locked) - seen):
+        problems.append(f"lockfile names scenario {name!r} but "
+                        f"{spec_filename(name)} is not in the corpus")
+    return problems

@@ -1,0 +1,83 @@
+"""The shipped scenario corpus must replay to its locked digests.
+
+``scenarios/`` holds one JSON spec per built-in scenario plus
+``digests.lock.json``.  Replaying each spec and comparing snapshot digests
+against the lockfile catches any regression in the topology generators or
+the event engine — a digest only moves if scenario *content* moved.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.corpus import (
+    LOCKFILE_NAME,
+    corpus_spec_paths,
+    read_lockfile,
+    replay_digests,
+    verify_corpus,
+    write_corpus,
+)
+from repro.scenarios.engine import replay_scenario
+from repro.scenarios.registry import scenario_names
+from repro.scenarios.spec import ScenarioSpec
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "scenarios"
+
+
+def test_corpus_exists_and_is_complete():
+    assert (CORPUS_DIR / LOCKFILE_NAME).is_file()
+    names = sorted(path.stem for path in corpus_spec_paths(CORPUS_DIR))
+    # every built-in scenario ships in the corpus
+    assert names == scenario_names()
+
+
+def test_lockfile_covers_exactly_the_corpus():
+    lock = read_lockfile(CORPUS_DIR)
+    locked = sorted(lock["scenarios"])
+    assert locked == sorted(path.stem for path in corpus_spec_paths(CORPUS_DIR))
+
+
+@pytest.mark.parametrize("spec_path", corpus_spec_paths(CORPUS_DIR),
+                         ids=lambda path: path.stem)
+def test_each_spec_replays_to_locked_digests(spec_path):
+    spec = ScenarioSpec.load(str(spec_path))
+    entry = read_lockfile(CORPUS_DIR)["scenarios"][spec.name]
+    assert entry["file"] == spec_path.name
+    digests = replay_digests(spec)
+    assert digests == entry["snapshot_digests"], (
+        f"scenario {spec.name!r} replays to different snapshot digests than "
+        f"locked — topology or event-engine behaviour changed")
+    final = replay_scenario(spec).final_graph
+    assert final.node_count == entry["final_nodes"]
+    assert final.edge_count == entry["final_edges"]
+
+
+def test_verify_corpus_passes_on_shipped_corpus():
+    assert verify_corpus(CORPUS_DIR) == []
+
+
+def test_verify_corpus_flags_digest_drift(tmp_path):
+    write_corpus(tmp_path)
+    # sabotage one spec: a different seed must change its replay digests
+    victim = sorted(tmp_path.glob("*.json"))[0]
+    if victim.name == LOCKFILE_NAME:
+        victim = sorted(tmp_path.glob("*.json"))[1]
+    spec = ScenarioSpec.load(str(victim))
+    spec.seed += 1
+    spec.save(str(victim))
+    problems = verify_corpus(tmp_path)
+    assert problems and "digests diverged" in problems[0]
+
+
+def test_verify_corpus_flags_unlocked_and_missing_specs(tmp_path):
+    write_corpus(tmp_path)
+    spec_paths = [path for path in sorted(tmp_path.glob("*.json"))
+                  if path.name != LOCKFILE_NAME]
+    extra = ScenarioSpec.load(str(spec_paths[0]))
+    extra.name = "not-in-lockfile"
+    extra.save(str(tmp_path / "not-in-lockfile.json"))
+    spec_paths[1].unlink()
+    problems = "\n".join(verify_corpus(tmp_path))
+    assert "missing from lockfile" in problems
+    assert "not in the corpus" in problems
