@@ -19,27 +19,47 @@ Components:
 
 from repro.benchmark.queries import (
     BenchmarkQuery,
+    TemporalQuery,
     traffic_queries,
     malt_queries,
     queries_for,
     query_by_id,
+    temporal_queries,
+    temporal_queries_for,
+    temporal_query_by_id,
+    temporal_scenario_names,
     COMPLEXITY_LEVELS,
 )
-from repro.benchmark.goldens import GoldenAnswerSelector, GoldenAnswer
+from repro.benchmark.goldens import (
+    GoldenAnswerSelector,
+    GoldenAnswer,
+    TemporalGoldenSelector,
+)
 from repro.benchmark.evaluator import ResultsEvaluator, EvaluationRecord, compare_values
 from repro.benchmark.errors import classify_error, ERROR_TYPE_LABELS
 from repro.benchmark.logger import ResultsLogger
-from repro.benchmark.runner import BenchmarkRunner, BenchmarkConfig, AccuracyReport
+from repro.benchmark.runner import (
+    BenchmarkRunner,
+    BenchmarkConfig,
+    AccuracyReport,
+    TemporalAccuracyReport,
+)
 
 __all__ = [
     "BenchmarkQuery",
+    "TemporalQuery",
     "traffic_queries",
     "malt_queries",
     "queries_for",
     "query_by_id",
+    "temporal_queries",
+    "temporal_queries_for",
+    "temporal_query_by_id",
+    "temporal_scenario_names",
     "COMPLEXITY_LEVELS",
     "GoldenAnswerSelector",
     "GoldenAnswer",
+    "TemporalGoldenSelector",
     "ResultsEvaluator",
     "EvaluationRecord",
     "compare_values",
@@ -49,4 +69,5 @@ __all__ = [
     "BenchmarkRunner",
     "BenchmarkConfig",
     "AccuracyReport",
+    "TemporalAccuracyReport",
 ]

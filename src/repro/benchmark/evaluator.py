@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.benchmark.goldens import GoldenAnswer
-from repro.benchmark.queries import BenchmarkQuery
+from repro.benchmark.queries import BenchmarkQuery, TemporalQuery
 from repro.core.pipeline import PipelineResult
 from repro.frames import DataFrame, Series
 from repro.graph import PropertyGraph, diff_graphs
@@ -187,5 +187,35 @@ class ResultsEvaluator:
                 record.details["graph_diff"] = diff.summary()
                 return record
 
+        record.passed = True
+        return record
+
+    # ------------------------------------------------------------------
+    def evaluate_temporal(self, query: TemporalQuery, model: str, answer: Any,
+                          golden: GoldenAnswer,
+                          details: Optional[Dict[str, Any]] = None,
+                          ) -> EvaluationRecord:
+        """Produce the verdict for one temporal-query answer.
+
+        Temporal queries are answered directly from the replayed timeline
+        (there is no generated-code execution stage), so the verdict is a
+        pure value comparison against the temporal golden.
+        """
+        record = EvaluationRecord(
+            query_id=query.query_id,
+            model=model,
+            backend="timeline",
+            complexity=query.complexity,
+            passed=False,
+        )
+        record.details.update(details or {})
+        record.details["scenario"] = query.scenario
+        if not compare_values(golden.value, answer, self.float_tolerance):
+            record.failure_stage = "compare"
+            record.failure_reason = ("temporal result value does not match "
+                                     "the golden answer")
+            record.details["expected_value"] = _normalize(golden.value)
+            record.details["actual_value"] = _normalize(answer)
+            return record
         record.passed = True
         return record

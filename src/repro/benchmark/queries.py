@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.synthesis.intents import Intent
+from repro.synthesis.reference import TEMPORAL_TIME_PARAMS as TIME_PARAMS
 
 COMPLEXITY_LEVELS = ("easy", "medium", "hard")
 
@@ -184,6 +185,136 @@ _MALT: List[BenchmarkQuery] = [
        "with the lowest total capacity and update that chassis capacity.",
        "hard", 2, "add_switch_to_least_loaded_chassis", name="new-switch-1", capacity=100),
 ]
+
+
+# ---------------------------------------------------------------------------
+# temporal queries (12, over the built-in scenario corpus)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TemporalQuery:
+    """One temporal benchmark query, asked against a scenario's timeline.
+
+    Unlike a :class:`BenchmarkQuery`, which evaluates on a single static
+    graph, a temporal query's *text* references scenario dynamics ("which
+    links failed since t=2?") and its golden answer is a function of the
+    whole replayed :class:`~repro.scenarios.engine.ScenarioTimeline`.
+    """
+
+    query_id: str
+    scenario: str             # registered scenario name the query runs against
+    text: str
+    complexity: str           # "easy", "medium", "hard"
+    difficulty_rank: int      # 0-based rank inside the complexity bucket
+    intent: Intent
+
+    @property
+    def anchor_time(self) -> Optional[float]:
+        """The latest snapshot time the query references (None = whole
+        timeline; such queries anchor at the final snapshot)."""
+        times = [float(value) for key, value in self.intent.params
+                 if key in TIME_PARAMS and value is not None]
+        return max(times) if times else None
+
+    def metadata(self, bucket_size: int) -> Dict[str, object]:
+        """The structured metadata handed to the calibrated reliability model."""
+        return {
+            "query_id": self.query_id,
+            "query": self.text,
+            "application": "traffic_analysis",
+            "scenario": self.scenario,
+            "complexity": self.complexity,
+            "difficulty_rank": self.difficulty_rank,
+            "bucket_size": bucket_size,
+            "intent": self.intent.as_dict(),
+        }
+
+
+def _tq(query_id: str, scenario: str, text: str, complexity: str, rank: int,
+        intent_name: str, **params) -> TemporalQuery:
+    return TemporalQuery(
+        query_id=query_id,
+        scenario=scenario,
+        text=text,
+        complexity=complexity,
+        difficulty_rank=rank,
+        intent=Intent.create(intent_name, **params),
+    )
+
+
+_TEMPORAL: List[TemporalQuery] = [
+    # -- easy: single-snapshot lookups ------------------------------------
+    _tq("tq-e1", "fat-tree-failover",
+        "How many links does the fabric have at t=1, right after the core "
+        "uplink fails?",
+        "easy", 0, "edge_count_at", at=1.0),
+    _tq("tq-e2", "wan-fiber-cut",
+        "How many POPs are reachable in the backbone at t=4, while pop-3 is "
+        "dark for maintenance?",
+        "easy", 1, "node_count_at", at=4.0),
+    _tq("tq-e3", "manet-churn",
+        "How many distinct network states did the churn scenario pass "
+        "through, counting the initial state?",
+        "easy", 2, "snapshot_count"),
+    _tq("tq-e4", "traffic-flashcrowd",
+        "At which time did the network carry the most total bytes?",
+        "easy", 3, "peak_traffic_time", key="bytes"),
+    # -- medium: windowed deltas ------------------------------------------
+    _tq("tq-m1", "fat-tree-failover",
+        "Which links failed between t=0.5 and t=2?",
+        "medium", 0, "failed_links_since", since=0.5, until=2.0),
+    _tq("tq-m2", "wan-fiber-cut",
+        "Which POPs churned out of or into the backbone between t=1 and t=3?",
+        "medium", 1, "churned_nodes_between", start=1.0, end=3.0),
+    _tq("tq-m3", "manet-churn",
+        "Which mobile nodes departed or rejoined between t=0 and t=3.5?",
+        "medium", 2, "churned_nodes_between", start=0.0, end=3.5),
+    _tq("tq-m4", "traffic-flashcrowd",
+        "Which links have failed since t=1, when the flash crowd peaked?",
+        "medium", 3, "failed_links_since", since=1.0),
+    # -- hard: cross-snapshot aggregations --------------------------------
+    _tq("tq-h1", "fat-tree-failover",
+        "Which links are running degraded at t=2, below their original "
+        "capacity?",
+        "hard", 0, "degraded_links_at", at=2.0),
+    _tq("tq-h2", "wan-fiber-cut",
+        "Which backbone spans were restored between t=1.5 and t=8?",
+        "hard", 1, "restored_links_since", since=1.5, until=8.0),
+    _tq("tq-h3", "manet-churn",
+        "How much aggregate link capacity (Gbps) has the network lost at "
+        "t=3 relative to the initial state?",
+        "hard", 2, "capacity_drop_at", at=3.0),
+    _tq("tq-h4", "traffic-flashcrowd",
+        "By how many bytes did total traffic change between t=0 and t=1?",
+        "hard", 3, "traffic_change_between", start=0.0, end=1.0, key="bytes"),
+]
+
+
+def temporal_queries() -> List[TemporalQuery]:
+    """The 12 temporal queries over the scenario corpus."""
+    return list(_TEMPORAL)
+
+
+def temporal_scenario_names() -> List[str]:
+    """Scenario names referenced by the temporal corpus, sorted."""
+    return sorted({query.scenario for query in _TEMPORAL})
+
+
+def temporal_queries_for(scenario: str) -> List[TemporalQuery]:
+    """The temporal queries asked against one scenario."""
+    return [query for query in _TEMPORAL if query.scenario == scenario]
+
+
+def temporal_query_by_id(query_id: str) -> TemporalQuery:
+    """Look up one temporal query by its id (e.g. ``"tq-m1"``)."""
+    for query in _TEMPORAL:
+        if query.query_id == query_id:
+            return query
+    raise KeyError(f"unknown temporal query id {query_id!r}")
+
+
+def temporal_bucket_size(complexity: str) -> int:
+    """Number of temporal queries in one complexity bucket."""
+    return sum(1 for query in _TEMPORAL if query.complexity == complexity)
 
 
 def traffic_queries() -> List[BenchmarkQuery]:

@@ -9,17 +9,19 @@ which is exactly the content of the paper's Tables 2, 3, 4 and 5.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.benchmark.evaluator import EvaluationRecord, ResultsEvaluator
 from repro.benchmark.goldens import GoldenAnswerSelector
 from repro.benchmark.logger import ResultsLogger
-from repro.benchmark.tasks import benchmark_cell_task
+from repro.benchmark.tasks import benchmark_cell_task, temporal_cell_task
 from repro.benchmark.queries import (
     BenchmarkQuery,
     COMPLEXITY_LEVELS,
     bucket_size,
     queries_for,
+    temporal_queries_for,
+    temporal_scenario_names,
 )
 from repro.core.application import NetworkApplication
 from repro.core.pipeline import NetworkManagementPipeline, QueryRequest
@@ -29,6 +31,7 @@ from repro.llm.catalog import DEFAULT_MODELS, create_provider
 from repro.malt import MaltApplication, MaltTopologyConfig
 from repro.traffic import CommunicationGraphConfig, TrafficAnalysisApplication
 from repro.utils.tables import format_table
+from repro.utils.validation import require
 
 
 #: backends compared for each application (the paper only runs the strawman
@@ -168,6 +171,85 @@ class AccuracyReport:
                 rows.append([model, backend] + [cell[c] for c in COMPLEXITY_LEVELS])
         return format_table(["model", "backend"] + list(COMPLEXITY_LEVELS), rows,
                             title=f"Accuracy by complexity — {self.application}")
+
+
+@dataclass
+class TemporalAccuracyReport:
+    """Aggregated temporal accuracy, grouped per scenario and per snapshot."""
+
+    scenarios: Sequence[str]
+    models: Sequence[str]
+    #: scenario -> ordered (snapshot time, digest) pairs of its replay
+    snapshots: Dict[str, List[Tuple[float, str]]] = field(default_factory=dict)
+    logger: ResultsLogger = field(default_factory=ResultsLogger)
+
+    # ------------------------------------------------------------------
+    def _records(self, model: Optional[str] = None,
+                 scenario: Optional[str] = None) -> List[EvaluationRecord]:
+        selected = self.logger.records
+        if model is not None:
+            selected = [r for r in selected if r.model == model]
+        if scenario is not None:
+            selected = [r for r in selected
+                        if r.details.get("scenario") == scenario]
+        return selected
+
+    @staticmethod
+    def _accuracy(records: List[EvaluationRecord]) -> float:
+        if not records:
+            return 0.0
+        return sum(1 for r in records if r.passed) / len(records)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """model -> scenario -> accuracy over the temporal corpus."""
+        table: Dict[str, Dict[str, float]] = {}
+        for model in self.models:
+            table[model] = {scenario: self._accuracy(self._records(model, scenario))
+                            for scenario in self.scenarios}
+        return table
+
+    def snapshot_breakdown(self, scenario: str) -> List[Dict[str, object]]:
+        """Per-snapshot accuracy rows for one scenario.
+
+        Each temporal query anchors at the latest snapshot its text
+        references (whole-timeline questions anchor at the final snapshot);
+        a row aggregates every (query, model) cell anchored there.
+        """
+        rows: List[Dict[str, object]] = []
+        for time, digest in self.snapshots.get(scenario, []):
+            anchored = [r for r in self._records(scenario=scenario)
+                        if r.details.get("anchor_time") == time]
+            if not anchored:
+                continue
+            rows.append({
+                "time": time,
+                "digest": digest,
+                "queries": sorted({r.query_id for r in anchored}),
+                "cells": len(anchored),
+                "accuracy": self._accuracy(anchored),
+            })
+        return rows
+
+    # ------------------------------------------------------------------
+    def render_summary(self) -> str:
+        rows = []
+        summary = self.summary()
+        for model in self.models:
+            rows.append([model] + [summary[model][scenario]
+                                   for scenario in self.scenarios])
+        return format_table(["model"] + list(self.scenarios), rows,
+                            title="Temporal accuracy by scenario")
+
+    def render_snapshot_tables(self) -> str:
+        blocks = []
+        for scenario in self.scenarios:
+            rows = [[row["time"], row["digest"], ", ".join(row["queries"]),
+                     row["cells"], row["accuracy"]]
+                    for row in self.snapshot_breakdown(scenario)]
+            blocks.append(format_table(
+                ["time", "digest", "queries", "cells", "accuracy"], rows,
+                title=f"Per-snapshot accuracy — {scenario}"))
+        return "\n\n".join(blocks)
 
 
 class BenchmarkRunner:
@@ -326,3 +408,45 @@ class BenchmarkRunner:
         for owner, record in zip(owners, self._dispatch(task_set)):
             reports[owner].logger.log(record)
         return reports
+
+    # ------------------------------------------------------------------
+    # temporal sweeps
+    # ------------------------------------------------------------------
+    def run_temporal_suite(self, scenarios: Optional[Sequence[str]] = None,
+                           models: Optional[Sequence[str]] = None,
+                           ) -> TemporalAccuracyReport:
+        """Answer the temporal query corpus over replayed scenario timelines.
+
+        Every (scenario, temporal query, model) cell becomes one fabric
+        task whose worker replays the scenario (memoized per process),
+        computes the temporal golden from the timeline's snapshots and
+        diffs, and evaluates the calibrated model's answer against it.
+        Results fold back in task order, so serial and parallel sweeps
+        produce byte-identical tables.
+        """
+        from repro.scenarios.engine import replay_scenario
+        from repro.scenarios.registry import get_scenario
+
+        scenarios = list(scenarios or temporal_scenario_names())
+        models = list(models or self.config.models)
+        report = TemporalAccuracyReport(scenarios=scenarios, models=models)
+
+        config_payload = self.config.to_payload()
+        task_set = TaskSet(name="benchmark/temporal")
+        for scenario in scenarios:
+            spec = get_scenario(scenario)
+            queries = temporal_queries_for(scenario)
+            require(bool(queries),
+                    f"no temporal queries target scenario {scenario!r}; "
+                    f"temporal scenarios: {temporal_scenario_names()}")
+            timeline = replay_scenario(spec)
+            report.snapshots[scenario] = [
+                (snapshot.time, snapshot.digest) for snapshot in timeline.snapshots]
+            spec_dict = spec.to_dict()
+            for query in queries:
+                for model in models:
+                    task_set.add(temporal_cell_task(
+                        config_payload, spec_dict, query.query_id, model))
+        for record in self._dispatch(task_set):
+            report.logger.log(record)
+        return report

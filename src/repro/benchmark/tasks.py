@@ -17,15 +17,17 @@ lets results be cached by content digest.
 from __future__ import annotations
 
 import time
+from bisect import bisect_right
 from typing import Any, Dict
 
-from repro.benchmark.queries import query_by_id
+from repro.benchmark.queries import query_by_id, temporal_query_by_id
 from repro.exec.task import Task
 from repro.exec.workers import worker_context
 from repro.utils.hashing import stable_hash
 
 #: dotted-path reference resolved inside worker processes
 BENCHMARK_CELL_WORKER = "repro.benchmark.tasks:run_benchmark_cell"
+TEMPORAL_CELL_WORKER = "repro.benchmark.tasks:run_temporal_cell"
 
 
 def benchmark_cell_task(report_name: str, config_payload: Dict[str, Any],
@@ -52,8 +54,7 @@ def benchmark_cell_task(report_name: str, config_payload: Dict[str, Any],
         # one group per network state: cells sharing it chunk together and
         # reuse the worker-process application memo
         group=f"{report_name}/{app_context['kind']}"
-              + (f"/{app_context['spec']['name']}" if app_context["kind"] == "scenario" else "")
-              + ("/strawman" if app_context["kind"] == "strawman" else ""),
+              + (f"/{app_context['spec']['name']}" if app_context["kind"] == "scenario" else ""),
     )
 
 
@@ -74,6 +75,146 @@ def _build_application(config_payload: Dict[str, Any], app_context: Dict[str, An
     return config.traffic_application()
 
 
+# ---------------------------------------------------------------------------
+# temporal cells
+# ---------------------------------------------------------------------------
+def temporal_cell_task(config_payload: Dict[str, Any], spec_dict: Dict[str, Any],
+                       query_id: str, model: str) -> Task:
+    """Describe one temporal-accuracy cell as a fabric task.
+
+    The payload round-trips through JSON (spec dicts, config dumps), so
+    temporal cells cross process boundaries and participate in the
+    content-keyed result cache exactly like static benchmark cells.
+    """
+    scenario = spec_dict["name"]
+    return Task(
+        key=f"bench/temporal/{scenario}/{query_id}/{model}",
+        fn=TEMPORAL_CELL_WORKER,
+        payload={
+            "config": config_payload,
+            "spec": spec_dict,
+            "query_id": query_id,
+            "model": model,
+        },
+        # one group per scenario: cells sharing a timeline chunk together
+        # and replay it once per worker process
+        group=f"temporal/{scenario}",
+    )
+
+
+def _replay_timeline(spec_dict: Dict[str, Any]):
+    from repro.scenarios.engine import replay_scenario
+    from repro.scenarios.spec import ScenarioSpec
+
+    return replay_scenario(ScenarioSpec.from_dict(spec_dict))
+
+
+def _corrupt(value: Any) -> Any:
+    """A deterministic wrong answer of last resort, shaped like *value*."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, (int, float)):
+        return value + 1
+    if isinstance(value, list):
+        return list(value[:-1]) if value else [["phantom-node", "phantom-peer"]]
+    if isinstance(value, dict):
+        return ({key: _corrupt(item) for key, item in value.items()}
+                if value else {"phantom": 1})
+    if value is None:
+        return 0.0
+    return None
+
+
+def _stale_answer(timeline, query, golden_value: Any) -> Any:
+    """The answer a failing model produces: a stale/mis-anchored replay.
+
+    Models that get temporal questions wrong typically reason over the wrong
+    point in time, so the simulated fault re-evaluates the same reference
+    semantics with every referenced timestamp shifted earlier — or, for
+    whole-timeline questions, over a replay missing its newest snapshots.
+    The shift widens until the answer actually *differs* from the golden
+    (a mis-anchored answer that coincides with the truth is not a failure),
+    corrupting the golden value as a last resort; every step is
+    deterministic, so serial and parallel sweeps stay byte-identical.
+    """
+    from repro.benchmark.queries import TIME_PARAMS
+    from repro.scenarios.engine import ScenarioTimeline
+    from repro.synthesis.intents import Intent
+    from repro.synthesis.reference import evaluate_temporal_reference
+
+    times = timeline.times()
+    time_keys = [key for key, value in query.intent.params
+                 if key in TIME_PARAMS and value is not None]
+    if time_keys:
+        for shift in range(1, len(times)):
+            shifted = {}
+            for key, value in query.intent.params:
+                if key in time_keys:
+                    index = bisect_right(times, float(value)) - 1
+                    shifted[key] = times[max(0, index - shift)]
+                else:
+                    shifted[key] = value
+            intent = Intent.create(query.intent.name, **shifted)
+            value = evaluate_temporal_reference(timeline, intent).value
+            if value != golden_value:
+                return value
+    else:
+        for cut in range(1, len(timeline.snapshots)):
+            stale = ScenarioTimeline(scenario_name=timeline.scenario_name,
+                                     snapshots=timeline.snapshots[:-cut])
+            value = evaluate_temporal_reference(stale, query.intent).value
+            if value != golden_value:
+                return value
+    return _corrupt(golden_value)
+
+
+def run_temporal_cell(payload: Dict[str, Any]):
+    """Worker: answer one temporal query and return its verdict.
+
+    The timeline replay is memoized per process (cells of one scenario chunk
+    together via their shard group), and the golden is served by a memoized
+    :class:`~repro.benchmark.goldens.TemporalGoldenSelector` keyed on the
+    timeline's snapshot digests.
+    """
+    from repro.benchmark.evaluator import ResultsEvaluator
+    from repro.benchmark.goldens import TemporalGoldenSelector
+    from repro.benchmark.queries import temporal_bucket_size
+    from repro.llm.calibration import CalibrationTable, DEFAULT_CALIBRATION
+
+    timeline = worker_context(
+        ("scenario-timeline", stable_hash(payload["spec"])),
+        lambda: _replay_timeline(payload["spec"]))
+    selector = worker_context(("temporal-golden-selector",), TemporalGoldenSelector)
+
+    query = temporal_query_by_id(payload["query_id"])
+    model = payload["model"]
+    golden = selector.golden_for(query, timeline)
+
+    calibration = DEFAULT_CALIBRATION
+    if payload["config"].get("calibration") is not None:
+        calibration = CalibrationTable.from_dict(payload["config"]["calibration"])
+    # temporal questions are answered from the replayed timeline on the
+    # richest representation, so the networkx reliability column calibrates
+    # whether this model gets this query right
+    intended_correct = calibration.passes(
+        model, "traffic_analysis", "networkx", query.complexity,
+        query.difficulty_rank, temporal_bucket_size(query.complexity))
+    answer = (golden.value if intended_correct
+              else _stale_answer(timeline, query, golden.value))
+
+    anchor = query.anchor_time
+    snapshot = (timeline.snapshots[-1] if anchor is None
+                else timeline.snapshot_at(anchor))
+    record = ResultsEvaluator().evaluate_temporal(
+        query, model, answer, golden,
+        details={
+            "anchor_time": snapshot.time,
+            "snapshot_digest": snapshot.digest,
+            "intended_correct": intended_correct,
+        })
+    return record
+
+
 def run_benchmark_cell(payload: Dict[str, Any]):
     """Worker: run one cell and return its :class:`EvaluationRecord`."""
     from repro.benchmark.runner import BenchmarkConfig, BenchmarkRunner
@@ -85,6 +226,11 @@ def run_benchmark_cell(payload: Dict[str, Any]):
                    stable_hash(payload["config"], payload["app"]))
     application = worker_context(
         context_key, lambda: _build_application(payload["config"], payload["app"]))
-    runner = BenchmarkRunner(BenchmarkConfig.from_payload(payload["config"]))
+    # memoize the runner per config so its golden-answer cache spans every
+    # cell of this process — goldens compute once per (query, graph), not
+    # once per (backend, model)
+    runner = worker_context(
+        ("benchmark-runner", stable_hash(payload["config"])),
+        lambda: BenchmarkRunner(BenchmarkConfig.from_payload(payload["config"])))
     query = query_by_id(payload["query_id"])
     return runner.run_query(application, query, payload["model"], payload["backend"])

@@ -53,6 +53,15 @@ def _execution_options(args: argparse.Namespace) -> ExecutionOptions:
                             cache=None if args.no_cache else args.cache_dir)
 
 
+def _print_fabric(run_report) -> None:
+    """One telemetry line for the sweep's most recent fabric dispatch."""
+    if run_report is None:
+        return
+    print(f"# fabric: {len(run_report.results)} cells, jobs={run_report.jobs}, "
+          f"cache hits {run_report.cache_hits}/{len(run_report.results)}, "
+          f"wall {run_report.wall_time_s:.2f}s")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the CLI."""
     parser = argparse.ArgumentParser(
@@ -75,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser("benchmark", help="run the NeMoEval benchmark")
     bench.add_argument("--application", choices=["traffic", "malt", "all"], default="all")
     bench.add_argument("--models", nargs="*", default=None)
+    bench.add_argument("--temporal", action="store_true",
+                       help="run the temporal query corpus over replayed "
+                            "scenario timelines instead of the static benchmark")
+    bench.add_argument("--scenarios", nargs="*", default=None,
+                       help="restrict --temporal to these scenario names")
     bench.add_argument("--small-malt", action="store_true",
                        help="use a small MALT topology instead of the paper-scale one")
     bench.add_argument("--json", dest="json_path", default=None,
@@ -150,6 +164,8 @@ def _cmd_ask(args: argparse.Namespace) -> int:
 
 
 def _cmd_benchmark(args: argparse.Namespace) -> int:
+    if args.temporal:
+        return _cmd_benchmark_temporal(args)
     config = BenchmarkConfig()
     if args.small_malt:
         from repro.malt import MaltTopologyConfig
@@ -162,11 +178,7 @@ def _cmd_benchmark(args: argparse.Namespace) -> int:
                     "all": ["traffic_analysis", "malt"]}[args.application]
     for application in applications:
         report = runner.run_application(application, models=args.models)
-        if runner.last_run_report is not None:
-            fabric = runner.last_run_report
-            print(f"# fabric: {len(fabric.results)} cells, jobs={fabric.jobs}, "
-                  f"cache hits {fabric.cache_hits}/{len(fabric.results)}, "
-                  f"wall {fabric.wall_time_s:.2f}s")
+        _print_fabric(runner.last_run_report)
         print(report.render_summary())
         print()
         print(report.render_breakdown())
@@ -182,6 +194,20 @@ def _cmd_benchmark(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_benchmark_temporal(args: argparse.Namespace) -> int:
+    """``repro benchmark --temporal`` — timelines, goldens, accuracy tables."""
+    runner = BenchmarkRunner(BenchmarkConfig(), execution=_execution_options(args))
+    report = runner.run_temporal_suite(scenarios=args.scenarios, models=args.models)
+    _print_fabric(runner.last_run_report)
+    print(report.render_summary())
+    print()
+    print(report.render_snapshot_tables())
+    if args.json_path:
+        report.logger.save(args.json_path)
+        print(f"\nwrote result log to {args.json_path}")
+    return 0
+
+
 def _cmd_cost(args: argparse.Namespace) -> int:
     analyzer = CostAnalyzer(model=args.model, execution=_execution_options(args))
     cdfs = analyzer.cost_cdf()
@@ -192,11 +218,7 @@ def _cmd_cost(args: argparse.Namespace) -> int:
                        title="Per-query cost at 80 nodes+edges", float_format="{:.4f}"))
     print()
     sweep = analyzer.scalability_sweep(graph_sizes=args.sizes)
-    if analyzer.last_run_report is not None:
-        fabric = analyzer.last_run_report
-        print(f"# fabric: {len(fabric.results)} cells, jobs={fabric.jobs}, "
-              f"cache hits {fabric.cache_hits}/{len(fabric.results)}, "
-              f"wall {fabric.wall_time_s:.2f}s")
+    _print_fabric(analyzer.last_run_report)
     rows = []
     for point in sweep.points:
         strawman = ("exceeds token limit" if point.strawman_cost_usd is None
@@ -226,9 +248,14 @@ def _cmd_improve(args: argparse.Namespace) -> int:
 
 
 def _cmd_queries(_: argparse.Namespace) -> int:
+    from repro.benchmark.queries import temporal_queries
+
     rows = []
     for query in traffic_queries() + malt_queries():
         rows.append([query.query_id, query.application, query.complexity, query.text])
+    for temporal in temporal_queries():
+        rows.append([temporal.query_id, f"scenario:{temporal.scenario}",
+                     temporal.complexity, temporal.text])
     print(format_table(["id", "application", "complexity", "query"], rows,
                        title="NeMoEval query corpus"))
     return 0

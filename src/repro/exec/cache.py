@@ -44,8 +44,9 @@ class ResultCache:
         try:
             with open(path, "rb") as handle:
                 entry = pickle.load(handle)
-        except (OSError, pickle.PickleError, EOFError, AttributeError):
-            # missing, torn, or unreadable entries are all just misses
+        except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+            # missing, torn, or unreadable entries — including entries whose
+            # result class has since moved or been renamed — are all misses
             self.misses += 1
             return False, None
         self.hits += 1

@@ -18,6 +18,34 @@ from typing import Any, Dict, List, Tuple
 from repro.graph.model import PropertyGraph
 
 
+class _AbsentType:
+    """Singleton marking an attribute that one side does not have at all.
+
+    A plain string sentinel ("<absent>") is ambiguous: an attribute whose
+    *real value* is that string would silently compare equal to a missing
+    one.  The singleton is only ever equal to itself, renders as
+    ``<absent>`` in diff summaries, and keeps its identity across pickling
+    (diff tuples travel through the execution fabric's result cache).
+    """
+
+    _instance: "_AbsentType" = None
+
+    def __new__(cls) -> "_AbsentType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<absent>"
+
+    def __reduce__(self):
+        return (_AbsentType, ())
+
+
+#: the unique missing-attribute marker used in attribute-mismatch tuples
+ABSENT = _AbsentType()
+
+
 @dataclass
 class GraphDiff:
     """Structured difference between two graphs."""
@@ -78,8 +106,13 @@ def _diff_attrs(left: Dict[str, Any], right: Dict[str, Any],
                 float_tolerance: float) -> List[Tuple[str, Any, Any]]:
     mismatches = []
     for key in sorted(set(left) | set(right), key=str):
-        left_value = left.get(key, "<absent>")
-        right_value = right.get(key, "<absent>")
+        left_value = left.get(key, ABSENT)
+        right_value = right.get(key, ABSENT)
+        if left_value is ABSENT and right_value is ABSENT:
+            continue
+        if left_value is ABSENT or right_value is ABSENT:
+            mismatches.append((key, left_value, right_value))
+            continue
         if not values_equal(left_value, right_value, float_tolerance):
             mismatches.append((key, left_value, right_value))
     return mismatches

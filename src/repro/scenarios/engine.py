@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -54,10 +55,15 @@ class Snapshot:
     graph: PropertyGraph
     changes: List[str] = field(default_factory=list)
     diff_from_previous: Optional[GraphDiff] = None
+    #: memoized content digest — snapshot graphs are immutable once recorded,
+    #: so the canonical-JSON + sha256 pass runs at most once per snapshot
+    _digest: Optional[str] = field(default=None, repr=False, compare=False)
 
     @property
     def digest(self) -> str:
-        return graph_digest(self.graph)
+        if self._digest is None:
+            self._digest = graph_digest(self.graph)
+        return self._digest
 
 
 @dataclass
@@ -75,14 +81,31 @@ class ScenarioTimeline:
     def final_graph(self) -> PropertyGraph:
         return self.snapshots[-1].graph
 
+    def times(self) -> List[float]:
+        """The ascending snapshot timestamps."""
+        return [snapshot.time for snapshot in self.snapshots]
+
+    def snapshot_at(self, time: float) -> Snapshot:
+        """The most recent snapshot at or before *time* (binary search).
+
+        Times earlier than the first snapshot raise ``ValueError``: there is
+        no scenario state before the initial snapshot, and silently clamping
+        to it would make a mistyped negative timestamp look like a valid
+        pre-failure query.
+        """
+        if not self.snapshots:
+            raise ValueError(f"scenario {self.scenario_name!r} has no snapshots")
+        times = self.times()
+        if time < times[0]:
+            raise ValueError(
+                f"time {time} precedes the first snapshot of scenario "
+                f"{self.scenario_name!r} (t={times[0]}); the timeline has no "
+                f"pre-start state")
+        return self.snapshots[bisect_right(times, time) - 1]
+
     def graph_at(self, time: float) -> PropertyGraph:
         """The most recent snapshot graph at or before *time*."""
-        chosen = self.snapshots[0].graph
-        for snapshot in self.snapshots:
-            if snapshot.time > time:
-                break
-            chosen = snapshot.graph
-        return chosen
+        return self.snapshot_at(time).graph
 
     def digests(self) -> List[str]:
         """Per-snapshot content digests (the determinism fingerprint)."""

@@ -534,3 +534,162 @@ def _add_switch_to_least_loaded_chassis(graph: PropertyGraph, intent: Intent) ->
     chassis_attrs = updated.node_attributes(target_chassis)
     chassis_attrs["capacity"] = chassis_attrs.get("capacity", 0) + capacity
     return ReferenceOutcome(kind="graph", graph=updated)
+
+
+# ---------------------------------------------------------------------------
+# temporal intents — evaluated over a scenario timeline, not a single graph
+# ---------------------------------------------------------------------------
+# A temporal reference receives the full replayed ScenarioTimeline and anchors
+# its computation at the snapshots named by the intent's time parameters
+# (``at``/``since``/``until``/``start``/``end``).  Deltas between anchored
+# snapshots are computed with the same :func:`repro.graph.diff.diff_graphs`
+# machinery the results evaluator uses, so a temporal golden and a graph-state
+# verdict can never disagree about what "changed" means.
+
+_TEMPORAL_HANDLERS: Dict[str, Callable[[Any, Intent], ReferenceOutcome]] = {}
+
+#: intent parameter names interpreted as snapshot timestamps
+TEMPORAL_TIME_PARAMS = ("at", "since", "until", "start", "end")
+
+
+def _register_temporal(name: str):
+    def decorator(func: Callable[[Any, Intent], ReferenceOutcome]):
+        _TEMPORAL_HANDLERS[name] = func
+        return func
+    return decorator
+
+
+def evaluate_temporal_reference(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    """Compute the golden outcome of a temporal *intent* on *timeline*."""
+    if intent.name not in _TEMPORAL_HANDLERS:
+        raise UnknownIntentError(
+            f"no temporal reference implementation for intent {intent.name!r}")
+    return _TEMPORAL_HANDLERS[intent.name](timeline, intent)
+
+
+def supported_temporal_intents() -> List[str]:
+    """Names of all temporal intents with a reference implementation."""
+    return sorted(_TEMPORAL_HANDLERS)
+
+
+def _edge_pairs(edges) -> List[List[str]]:
+    return sorted([str(source), str(target)] for source, target in edges)
+
+
+def _window(timeline: Any, intent: Intent) -> Tuple[PropertyGraph, PropertyGraph]:
+    """The (earlier, later) snapshot graphs an interval intent compares.
+
+    ``since``/``start`` anchor the earlier snapshot (default: initial) and
+    ``until``/``end`` the later one (default: final).
+    """
+    start = intent.param("since", intent.param("start"))
+    end = intent.param("until", intent.param("end"))
+    earlier = (timeline.initial_graph if start is None
+               else timeline.graph_at(float(start)))
+    later = (timeline.final_graph if end is None
+             else timeline.graph_at(float(end)))
+    return earlier, later
+
+
+def _total_edge_attr(graph: PropertyGraph, key: str) -> float:
+    return sum(attrs.get(key, 0) for _, _, attrs in graph.edges(data=True))
+
+
+@_register_temporal("failed_links_since")
+def _failed_links_since(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    from repro.graph.diff import diff_graphs
+
+    earlier, later = _window(timeline, intent)
+    return ReferenceOutcome(
+        kind="value", value=_edge_pairs(diff_graphs(earlier, later).missing_edges))
+
+
+@_register_temporal("restored_links_since")
+def _restored_links_since(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    from repro.graph.diff import diff_graphs
+
+    earlier, later = _window(timeline, intent)
+    return ReferenceOutcome(
+        kind="value", value=_edge_pairs(diff_graphs(earlier, later).extra_edges))
+
+
+@_register_temporal("churned_nodes_between")
+def _churned_nodes_between(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    from repro.graph.diff import diff_graphs
+
+    earlier, later = _window(timeline, intent)
+    diff = diff_graphs(earlier, later)
+    return ReferenceOutcome(kind="value", value={
+        "departed": sorted(str(node) for node in diff.missing_nodes),
+        "joined": sorted(str(node) for node in diff.extra_nodes),
+    })
+
+
+@_register_temporal("capacity_drop_at")
+def _capacity_drop_at(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    attribute = intent.param("attribute", "capacity_gbps")
+    baseline = _total_edge_attr(timeline.initial_graph, attribute)
+    current = _total_edge_attr(timeline.graph_at(float(intent.param("at", 0.0))),
+                               attribute)
+    return ReferenceOutcome(kind="value", value=round(baseline - current, 6))
+
+
+@_register_temporal("degraded_links_at")
+def _degraded_links_at(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    """Links still up at *at* whose capacity dropped below its initial value."""
+    attribute = intent.param("attribute", "capacity_gbps")
+    initial = timeline.initial_graph
+    current = timeline.graph_at(float(intent.param("at", 0.0)))
+    degraded = []
+    for source, target, attrs in current.edges(data=True):
+        if not initial.has_edge(source, target):
+            continue
+        before = initial.edge_attributes(source, target).get(attribute)
+        now = attrs.get(attribute)
+        if before is not None and now is not None and now < before:
+            degraded.append((source, target))
+    return ReferenceOutcome(kind="value", value=_edge_pairs(degraded))
+
+
+@_register_temporal("node_count_at")
+def _node_count_at(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    graph = timeline.graph_at(float(intent.param("at", 0.0)))
+    return ReferenceOutcome(kind="value", value=graph.node_count)
+
+
+@_register_temporal("edge_count_at")
+def _edge_count_at(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    graph = timeline.graph_at(float(intent.param("at", 0.0)))
+    return ReferenceOutcome(kind="value", value=graph.edge_count)
+
+
+@_register_temporal("traffic_change_between")
+def _traffic_change_between(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    key = intent.param("key", "bytes")
+    earlier, later = _window(timeline, intent)
+    delta = _total_edge_attr(later, key) - _total_edge_attr(earlier, key)
+    return ReferenceOutcome(kind="value", value=round(delta, 6))
+
+
+@_register_temporal("peak_traffic_time")
+def _peak_traffic_time(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    """The snapshot time with the highest total traffic (first on ties)."""
+    key = intent.param("key", "bytes")
+    best_time, best_total = None, None
+    for snapshot in timeline.snapshots:
+        total = _total_edge_attr(snapshot.graph, key)
+        if best_total is None or total > best_total:
+            best_time, best_total = snapshot.time, total
+    return ReferenceOutcome(kind="value", value=best_time)
+
+
+@_register_temporal("snapshot_count")
+def _snapshot_count(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    return ReferenceOutcome(kind="value", value=len(timeline.snapshots))
+
+
+@_register_temporal("isolated_nodes_at")
+def _isolated_nodes_at(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    graph = timeline.graph_at(float(intent.param("at", 0.0)))
+    isolated = sorted(str(node) for node in graph.nodes() if graph.degree(node) == 0)
+    return ReferenceOutcome(kind="value", value=isolated)

@@ -130,6 +130,34 @@ class TestGoldenSelector:
             del application
             gc.collect()
 
+    def test_dead_cache_entries_are_pruned(self):
+        # regression: entries whose weakref died were rejected on lookup but
+        # never *removed*, so multi-scenario sweeps grew the cache by one
+        # entry per (query, graph) pair forever
+        import gc
+
+        selector = GoldenAnswerSelector()
+        query = query_by_id("ta-e1")
+        for size in (10, 20, 30, 40, 50):
+            application = TrafficAnalysisApplication.with_size(size, size)
+            selector.golden_for(query, application.graph)
+            del application
+            gc.collect()
+        # every prior graph is dead; the miss that inserted the newest entry
+        # must have swept the corpses, leaving at most the final entry plus
+        # the one inserted after the sweep
+        assert len(selector) <= 2
+
+    def test_live_cache_entries_survive_pruning(self):
+        selector = GoldenAnswerSelector()
+        query = query_by_id("ta-e1")
+        applications = [TrafficAnalysisApplication.with_size(size, size)
+                        for size in (10, 20, 30)]
+        goldens = [selector.golden_for(query, app.graph) for app in applications]
+        assert len(selector) == 3
+        for application, golden in zip(applications, goldens):
+            assert selector.golden_for(query, application.graph) is golden
+
 
 class TestErrorClassifier:
     def _record(self, stage, reason="", error_type="", message=""):

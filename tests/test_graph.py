@@ -21,6 +21,7 @@ from repro.graph import (
     to_sql_database,
 )
 from repro.graph.convert import from_frames, from_sql_database
+from repro.graph.diff import ABSENT
 from repro.graph.stats import degree_histogram, top_nodes_by_weight
 
 
@@ -161,6 +162,40 @@ class TestGraphDiff:
         left = build_sample()
         right = build_sample()
         right.set_edge_attribute("a", "b", "bytes", 100.0 + 1e-12)
+        assert graphs_equal(left, right)
+
+    def test_absent_sentinel_not_confused_with_literal_string(self):
+        # regression: the missing-attribute marker used to be the string
+        # "<absent>", so an attribute whose *real value* was "<absent>" on
+        # one side and missing on the other compared equal and the diff was
+        # silently empty
+        left = build_sample()
+        right = build_sample()
+        left.set_node_attribute("a", "marker", "<absent>")
+        diff = diff_graphs(left, right)
+        assert ("a", "marker", "<absent>", ABSENT) in diff.node_attribute_mismatches
+        assert not graphs_equal(left, right)
+
+    def test_absent_sentinel_renders_in_summary(self):
+        left = build_sample()
+        right = build_sample()
+        right.set_node_attribute("a", "extra", 1)
+        diff = diff_graphs(left, right)
+        assert ("a", "extra", ABSENT, 1) in diff.node_attribute_mismatches
+        assert "<absent>" in diff.summary()
+
+    def test_absent_sentinel_is_a_pickle_stable_singleton(self):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(ABSENT)) is ABSENT
+        assert ABSENT == ABSENT
+        assert ABSENT != "<absent>"
+
+    def test_matching_literal_absent_strings_still_equal(self):
+        left = build_sample()
+        right = build_sample()
+        left.set_node_attribute("a", "marker", "<absent>")
+        right.set_node_attribute("a", "marker", "<absent>")
         assert graphs_equal(left, right)
 
 

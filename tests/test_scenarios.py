@@ -27,6 +27,7 @@ from repro.scenarios import (
     NodeLeaveEvent,
     ScenarioSpec,
     ScenarioSuite,
+    ScenarioTimeline,
     TrafficSurgeEvent,
     build_topology,
     builtin_scenarios,
@@ -310,6 +311,34 @@ class TestEventEngine:
         assert timeline.graph_at(0.5).edge_count == timeline.initial_graph.edge_count
         assert timeline.graph_at(3.0).node_count == 9  # pop-3 is gone at t in [2, 6)
         assert timeline.graph_at(100.0) is timeline.final_graph
+
+    def test_graph_at_exact_snapshot_time_selects_that_snapshot(self):
+        timeline = replay_scenario(get_scenario("wan-fiber-cut"))
+        for snapshot in timeline.snapshots:
+            assert timeline.graph_at(snapshot.time) is snapshot.graph
+            assert timeline.snapshot_at(snapshot.time) is snapshot
+
+    def test_graph_at_before_first_snapshot_raises(self):
+        # regression: times before the initial snapshot used to silently
+        # clamp to it, making a mistyped negative timestamp look valid
+        timeline = replay_scenario(get_scenario("wan-fiber-cut"))
+        with pytest.raises(ValueError, match="precedes the first snapshot"):
+            timeline.graph_at(-0.1)
+        with pytest.raises(ValueError, match="no snapshots"):
+            ScenarioTimeline(scenario_name="empty").graph_at(0.0)
+
+    def test_snapshot_digest_computed_once(self):
+        # regression/perf: Snapshot.digest used to re-hash the whole graph on
+        # every access; it is now computed once and memoized.  Mutating the
+        # graph after the first access must not change the stored digest,
+        # while a fresh graph_digest() call sees the mutation.
+        timeline = replay_scenario(get_scenario("ring-maintenance"))
+        snapshot = timeline.snapshots[1]
+        first = snapshot.digest
+        assert first == graph_digest(snapshot.graph)
+        snapshot.graph.add_node("late-mutation")
+        assert snapshot.digest == first            # cached value served
+        assert graph_digest(snapshot.graph) != first   # the hash itself moved
 
     def test_snapshots_are_isolated_copies(self):
         timeline = replay_scenario(get_scenario("ring-maintenance"))
