@@ -10,8 +10,6 @@ can compare numbers.
 import json
 import time
 
-import pytest
-
 from helpers import RESULTS_DIR
 from repro.scenarios import build_topology, family_names
 

@@ -1,0 +1,69 @@
+"""CI perf smoke: fail when topology generation regresses >3x.
+
+Re-measures every topology family at the sizes used by
+``bench_scenarios_throughput.py`` and compares ``seconds_per_build`` against
+the committed baseline (``benchmarks/results/scenarios_throughput.json``).
+Any family more than :data:`MAX_REGRESSION` times slower than its committed
+number fails the build — the committed JSON is the performance contract, and
+a builder who makes generation slower must either fix it or consciously
+re-commit the baseline.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/check_throughput_regression.py
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_scenarios_throughput import FAMILY_SIZES, _measure  # noqa: E402
+from helpers import RESULTS_DIR  # noqa: E402
+
+#: a fresh build may be at most this many times slower than the baseline
+MAX_REGRESSION = 3.0
+
+#: independent measurement attempts; the best (fastest) one is compared, so
+#: scheduler noise on shared CI runners cannot fail the gate on its own
+ATTEMPTS = 3
+
+BASELINE_PATH = RESULTS_DIR / "scenarios_throughput.json"
+
+
+def main() -> int:
+    try:
+        baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read committed baseline {BASELINE_PATH}: {error}",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    for family, params in sorted(FAMILY_SIZES.items()):
+        if family not in baseline:
+            failures.append(f"{family}: no committed baseline entry "
+                            f"(re-run the bench and commit the JSON)")
+            continue
+        best = min(_measure(family, params)["seconds_per_build"]
+                   for _ in range(ATTEMPTS))
+        committed = baseline[family]["seconds_per_build"]
+        ratio = best / committed if committed else float("inf")
+        verdict = "ok" if ratio <= MAX_REGRESSION else "REGRESSION"
+        print(f"{family:16s} {best:.6f}s/build "
+              f"(baseline {committed:.6f}s, {ratio:.2f}x) {verdict}")
+        if ratio > MAX_REGRESSION:
+            failures.append(f"{family}: {ratio:.2f}x slower than the committed "
+                            f"baseline (limit {MAX_REGRESSION}x)")
+
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    if not failures:
+        print(f"all {len(FAMILY_SIZES)} families within {MAX_REGRESSION}x "
+              f"of the committed baseline")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -271,6 +271,31 @@ _TEMPORAL: List[TemporalQuery] = [
     _tq("tq-m4", "traffic-flashcrowd",
         "Which links have failed since t=1, when the flash crowd peaked?",
         "medium", 3, "failed_links_since", since=1.0),
+    # -- easy: correlated-dynamics scenarios ------------------------------
+    _tq("tq-e5", "wan-conduit-cut",
+        "How many backbone spans are up at t=2, while the cut conduit is "
+        "still out?",
+        "easy", 4, "edge_count_at", at=2.0),
+    _tq("tq-e6", "fattree-maintenance",
+        "How many switches and hosts are in the fabric at t=3, during the "
+        "chassis maintenance window?",
+        "easy", 5, "node_count_at", at=3.0),
+    _tq("tq-e7", "wan-gravity-hotspot",
+        "At which time did the backbone carry the most total bytes?",
+        "easy", 6, "peak_traffic_time", key="bytes"),
+    # -- medium: correlated-dynamics scenarios ----------------------------
+    _tq("tq-m5", "wan-conduit-cut",
+        "Which shared-risk link groups are fully failed at t=2?",
+        "medium", 4, "failed_srlgs_at", at=2.0),
+    _tq("tq-m6", "fattree-maintenance",
+        "Which links were drained for maintenance and restored between t=0 "
+        "and t=8?",
+        "medium", 5, "drained_links_between", start=0.0, end=8.0),
+    _tq("tq-m7", "wan-gravity-hotspot",
+        "Which region's traffic grew the most between t=1 and t=3, while "
+        "the hotspot built up?",
+        "medium", 6, "top_region_by_traffic_growth", start=1.0, end=3.0,
+        key="bytes"),
     # -- hard: cross-snapshot aggregations --------------------------------
     _tq("tq-h1", "fat-tree-failover",
         "Which links are running degraded at t=2, below their original "
@@ -286,6 +311,19 @@ _TEMPORAL: List[TemporalQuery] = [
     _tq("tq-h4", "traffic-flashcrowd",
         "By how many bytes did total traffic change between t=0 and t=1?",
         "hard", 3, "traffic_change_between", start=0.0, end=1.0, key="bytes"),
+    # -- hard: correlated-dynamics scenarios ------------------------------
+    _tq("tq-h5", "wan-conduit-cut",
+        "Which spans of the cut se-sw conduit are still down at t=4, after "
+        "the first splice?",
+        "hard", 4, "srlg_links_down_at", at=4.0, group="conduit-se-sw"),
+    _tq("tq-h6", "fattree-maintenance",
+        "Which switches were drained for maintenance and re-racked between "
+        "t=0 and t=8?",
+        "hard", 5, "drained_nodes_between", start=0.0, end=8.0),
+    _tq("tq-h7", "wan-gravity-hotspot",
+        "By how many bytes did each region's traffic change between t=1 "
+        "and t=3?",
+        "hard", 6, "region_traffic_between", start=1.0, end=3.0, key="bytes"),
 ]
 
 

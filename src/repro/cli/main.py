@@ -25,7 +25,7 @@ from repro.benchmark.errors import ERROR_TYPE_LABELS
 from repro.benchmark.queries import malt_queries, traffic_queries
 from repro.core import NetworkManagementPipeline
 from repro.cost import CostAnalyzer
-from repro.exec import DEFAULT_CACHE_DIR, ExecutionOptions
+from repro.exec import DEFAULT_CACHE_DIR, ExecutionOptions, ResultCache
 from repro.llm import available_models, create_provider
 from repro.malt import MaltApplication
 from repro.techniques import ImprovementCaseStudy
@@ -45,12 +45,25 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
                             f"(default {DEFAULT_CACHE_DIR})")
     group.add_argument("--no-cache", action="store_true",
                        help="recompute every cell, bypassing the result cache")
+    group.add_argument("--cache-max-entries", type=int, default=None, metavar="N",
+                       help="bound the result cache at N entries with "
+                            "least-recently-used eviction (default: unbounded)")
 
 
 def _execution_options(args: argparse.Namespace) -> ExecutionOptions:
     require(args.jobs >= 1, f"--jobs must be at least 1, got {args.jobs}")
-    return ExecutionOptions(jobs=args.jobs,
-                            cache=None if args.no_cache else args.cache_dir)
+    require(not (args.no_cache and args.cache_max_entries is not None),
+            "--no-cache and --cache-max-entries are mutually exclusive "
+            "(there is no cache to bound)")
+    if args.no_cache:
+        cache = None
+    elif args.cache_max_entries is not None:
+        require(args.cache_max_entries >= 1,
+                f"--cache-max-entries must be at least 1, got {args.cache_max_entries}")
+        cache = ResultCache(args.cache_dir, max_entries=args.cache_max_entries)
+    else:
+        cache = args.cache_dir
+    return ExecutionOptions(jobs=args.jobs, cache=cache)
 
 
 def _print_fabric(run_report) -> None:
@@ -275,10 +288,46 @@ def _parse_param_overrides(pairs: List[str]) -> dict:
     return params
 
 
+def _print_describe_extras(spec) -> None:
+    """Correlated-dynamics context for ``scenarios describe``: the SRLG
+    membership declared on the built topology, and the drain/restore schedule
+    of every maintenance window in the timeline.
+
+    Rendered to stderr so stdout stays pure spec JSON — ``repro scenarios
+    describe name > spec.json`` must keep producing a loadable spec file.
+    """
+    from repro.scenarios import MaintenanceWindowEvent, graph_srlgs
+
+    srlgs = graph_srlgs(spec.build_topology())
+    if srlgs:
+        rows = [[name, len(members),
+                 ", ".join(f"{source}~{target}" for source, target in members)]
+                for name, members in sorted(srlgs.items())]
+        print(file=sys.stderr)
+        print(format_table(["srlg", "links", "members"], rows,
+                           title=f"Shared-risk link groups — {spec.name}"),
+              file=sys.stderr)
+    windows = [event for event in spec.sorted_events()
+               if isinstance(event, MaintenanceWindowEvent)]
+    if windows:
+        rows = []
+        for window in windows:
+            if window.node is not None:
+                target = f"node {window.node}"
+            else:
+                target = ", ".join(f"{link['source']}~{link['target']}"
+                                   for link in window.links)
+            rows.append([window.at, window.end, round(window.end - window.at, 6),
+                         target])
+        print(file=sys.stderr)
+        print(format_table(["drain at", "restore at", "duration", "drained"], rows,
+                           title=f"Maintenance windows — {spec.name}"),
+              file=sys.stderr)
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> int:
-    from repro.scenarios import (ScenarioSpec, build_topology, family_names,
-                                 get_family, get_scenario, replay_scenario,
-                                 scenario_names)
+    from repro.scenarios import (ScenarioSpec, family_names, get_family,
+                                 get_scenario, replay_scenario, scenario_names)
     from repro.graph.serialization import graph_to_json
 
     if args.scenario_action == "list":
@@ -292,7 +341,9 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         return 0
 
     if args.scenario_action == "describe":
-        print(get_scenario(args.name).to_json())
+        spec = get_scenario(args.name)
+        print(spec.to_json())
+        _print_describe_extras(spec)
         return 0
 
     if args.scenario_action == "lock":

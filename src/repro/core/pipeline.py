@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.core.application import NetworkApplication
 from repro.core.codeblocks import extract_python_code, extract_sql_code

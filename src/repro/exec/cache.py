@@ -10,6 +10,11 @@ Values are stored with :mod:`pickle` (results are arbitrary Python objects:
 evaluation records, cost points).  The cache is safe for concurrent writers
 because entries are immutable once written and writes go through a
 same-directory temporary file followed by an atomic ``os.replace``.
+
+With ``max_entries`` set the cache enforces a cross-run LRU bound: every hit
+refreshes its entry's mtime, and every store evicts the stalest entries once
+the directory exceeds the limit — so a long-lived cache directory swept by
+many differing configurations stops growing without bound.
 """
 
 from __future__ import annotations
@@ -28,10 +33,18 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 class ResultCache:
     """A directory of pickled task results keyed by content digest."""
 
-    def __init__(self, root=DEFAULT_CACHE_DIR) -> None:
+    def __init__(self, root=DEFAULT_CACHE_DIR,
+                 max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be at least 1, got {max_entries}")
         self.root = Path(root)
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        # approximate entry count, maintained so a bounded cache only pays
+        # for a directory scan when the bound is actually exceeded (None =
+        # not yet counted; lazily initialized on the first store)
+        self._approx_count: Optional[int] = None
 
     # ------------------------------------------------------------------
     def entry_path(self, digest: str) -> Path:
@@ -50,6 +63,10 @@ class ResultCache:
             self.misses += 1
             return False, None
         self.hits += 1
+        try:
+            os.utime(path)  # refresh recency so LRU eviction spares hot entries
+        except OSError:
+            pass
         return True, entry["value"]
 
     def put(self, digest: str, key: str, value: Any) -> None:
@@ -58,6 +75,7 @@ class ResultCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"digest": digest, "key": key, "value": value}
         descriptor, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        existed = path.exists()
         try:
             with os.fdopen(descriptor, "wb") as handle:
                 pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
@@ -68,6 +86,45 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.max_entries is None:
+            return
+        if self._approx_count is None:
+            self._approx_count = len(self)
+        elif not existed:
+            self._approx_count += 1
+        if self._approx_count > self.max_entries:
+            self.evict_excess()
+
+    def evict_excess(self) -> int:
+        """Delete least-recently-used entries beyond ``max_entries``.
+
+        Recency is the entry file's mtime (stores and hits both touch it);
+        ties break on the path so concurrent evictors agree on the victim
+        order.  Returns how many entries were removed.
+        """
+        if self.max_entries is None:
+            return 0
+        entries = list(self.entries())
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            self._approx_count = len(entries)
+            return 0
+
+        def recency(path: Path):
+            try:
+                return (path.stat().st_mtime, str(path))
+            except OSError:
+                return (0.0, str(path))  # vanished underneath us: oldest
+
+        removed = 0
+        for path in sorted(entries, key=recency)[:excess]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self._approx_count = len(entries) - removed
+        return removed
 
     # ------------------------------------------------------------------
     def entries(self) -> Iterator[Path]:
@@ -87,6 +144,7 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        self._approx_count = 0
         return removed
 
 

@@ -12,7 +12,6 @@ classifier, self-debug) sees realistic failures.
 
 from __future__ import annotations
 
-import json
 import re
 from typing import Any, Dict, Optional, Tuple
 

@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Set
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional
 
 from repro.utils.validation import ValidationError
 

@@ -32,14 +32,19 @@ from repro.scenarios.topologies import (
 from repro.scenarios.events import (
     CapacityDegradationEvent,
     EngineState,
+    GravityTrafficEvent,
     LinkDownEvent,
     LinkUpEvent,
+    MaintenanceWindowEvent,
     NodeJoinEvent,
     NodeLeaveEvent,
     ScenarioEvent,
+    SrlgFailureEvent,
     TrafficSurgeEvent,
     event_from_dict,
     event_kinds,
+    expand_events,
+    graph_srlgs,
 )
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.engine import (
@@ -62,7 +67,7 @@ from repro.scenarios.overlay import (
     scenario_graph,
     traffic_application_from_scenario,
 )
-from repro.scenarios.suite import ScenarioSuite, default_suite
+from repro.scenarios.suite import ScenarioSuite, correlated_suite, default_suite
 from repro.scenarios.corpus import (
     corpus_spec_paths,
     read_lockfile,
@@ -83,9 +88,14 @@ __all__ = [
     "NodeLeaveEvent",
     "NodeJoinEvent",
     "TrafficSurgeEvent",
+    "SrlgFailureEvent",
+    "MaintenanceWindowEvent",
+    "GravityTrafficEvent",
     "EngineState",
     "event_from_dict",
     "event_kinds",
+    "expand_events",
+    "graph_srlgs",
     "ScenarioSpec",
     "EventEngine",
     "ScenarioTimeline",
@@ -102,6 +112,7 @@ __all__ = [
     "scenario_graph",
     "traffic_application_from_scenario",
     "ScenarioSuite",
+    "correlated_suite",
     "default_suite",
     "corpus_spec_paths",
     "read_lockfile",

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional
 
 from repro.graph import PropertyGraph
 from repro.graph.diff import GraphDiff, diff_graphs
-from repro.scenarios.events import EngineState
+from repro.scenarios.events import EngineState, expand_events
 from repro.scenarios.spec import ScenarioSpec
 from repro.utils.tables import format_table
 
@@ -132,14 +132,27 @@ class EventEngine:
         self.spec = spec
 
     def replay(self) -> ScenarioTimeline:
-        """Build the topology, apply every event, snapshot each event time."""
+        """Build the topology, apply every event, snapshot each event time.
+
+        Declarative events (maintenance windows) are first expanded into
+        primitive drain/restore steps, and every event is validated against
+        the initial topology — an SRLG naming a missing link or a gravity
+        event on a zero-mass graph fails here, before any snapshot is taken,
+        so a broken spec can never produce a half-mutated timeline.
+        """
         graph = self.spec.build_topology()
+        # validate the *declared* events (windows included) against the
+        # initial topology, then expand windows into drain/restore pairs
+        declared = self.spec.sorted_events()
+        for event in declared:
+            event.validate_against(graph)
+        events = expand_events(declared, graph=graph)
         state = EngineState()
         timeline = ScenarioTimeline(scenario_name=self.spec.name)
         timeline.snapshots.append(Snapshot(time=0.0, graph=graph.copy()))
 
         grouped: Dict[float, List] = {}
-        for event in self.spec.sorted_events():
+        for event in events:
             grouped.setdefault(event.at, []).append(event)
 
         previous = timeline.snapshots[0].graph

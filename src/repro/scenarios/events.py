@@ -6,6 +6,14 @@ against the scenario's topology.  The munet/SiNE emulation plans motivate the
 vocabulary: links fail and recover, capacity degrades, nodes churn in and
 out, and traffic surges.
 
+Beyond the independent primitives, three *correlated-dynamics* events model
+how real networks actually change: :class:`SrlgFailureEvent` fails a whole
+shared-risk link group (conduit, chassis, region bundle) atomically,
+:class:`MaintenanceWindowEvent` declares a drain window the engine expands
+into guaranteed drain/restore pairs, and :class:`GravityTrafficEvent`
+replaces a uniform surge with a gravity-model traffic matrix derived from
+node masses.
+
 Every event serializes to a plain dictionary (``{"kind": ..., "at": ...,
 ...}``) so scenario specs stay JSON-loadable, and every mutation is
 deterministic — an event never consults wall-clock time or unseeded
@@ -27,6 +35,22 @@ DEFAULT_LINK_ATTRIBUTES = {"capacity_gbps": 10, "latency_ms": 1.0}
 
 #: traffic counter keys scaled by a surge
 TRAFFIC_KEYS = ("bytes", "connections", "packets")
+
+#: graph attribute under which topology builders declare shared-risk link
+#: groups: ``{group name: [[source, target], ...]}``
+SRLG_ATTRIBUTE = "srlgs"
+
+#: traffic seeded per Gbps of link capacity when a gravity event touches an
+#: edge that carries no counter yet (keeps gravity matrices deterministic on
+#: physical-only topologies such as the WAN backbone)
+GRAVITY_BASELINE_PER_GBPS = {"bytes": 1_000_000, "connections": 40, "packets": 10_000}
+
+
+def graph_srlgs(graph: PropertyGraph) -> Dict[str, List[Tuple[Any, Any]]]:
+    """The shared-risk link groups declared on *graph* at build time."""
+    declared = graph.graph_attributes.get(SRLG_ATTRIBUTE, {})
+    return {name: [tuple(member) for member in members]
+            for name, members in declared.items()}
 
 
 class EngineState:
@@ -54,6 +78,15 @@ class ScenarioEvent:
 
     def validate(self) -> None:
         require(self.at >= 0, f"event time must be non-negative, got {self.at}")
+
+    def validate_against(self, graph: PropertyGraph) -> None:
+        """Graph-aware validation, called by the engine on the *initial*
+        topology before any event is applied.
+
+        Events whose correctness depends on build-time declarations (SRLG
+        membership, node masses) override this so that a broken reference
+        fails loudly up front instead of corrupting the timeline mid-replay.
+        """
 
     def apply(self, graph: PropertyGraph, state: EngineState) -> List[str]:
         """Mutate *graph* in place; return human-readable change notes."""
@@ -112,8 +145,15 @@ class LinkUpEvent(ScenarioEvent):
             return [f"link {self.source}->{self.target} already up"]
         attrs = self.attributes
         if attrs is None:
-            attrs = state.removed_edges.pop((self.source, self.target),
-                                            dict(DEFAULT_LINK_ATTRIBUTES))
+            attrs = state.removed_edges.pop((self.source, self.target), None)
+            if attrs is None and not graph.directed:
+                # on an undirected graph the storage orientation is invisible
+                # to the spec author (and SRLG failures remember their own
+                # member orientation), so a reversed repair must still find
+                # the recorded attributes
+                attrs = state.removed_edges.pop((self.target, self.source), None)
+            if attrs is None:
+                attrs = dict(DEFAULT_LINK_ATTRIBUTES)
         graph.add_edge(self.source, self.target, **dict(attrs))
         return [f"link up: {self.source} -> {self.target}"]
 
@@ -287,11 +327,282 @@ class TrafficSurgeEvent(ScenarioEvent):
         return payload
 
 
+@dataclass
+class SrlgFailureEvent(ScenarioEvent):
+    """Fail every link of one shared-risk link group atomically.
+
+    SRLGs model the physical reality behind correlated failures: links that
+    share a conduit, a chassis, or a regional fiber bundle go down *together*
+    when the shared resource fails.  Groups are declared on the graph at
+    build time (``graph.graph_attributes["srlgs"]``); the event names one.
+
+    Each removed link's attributes are remembered individually, so repair is
+    *partial* by default: a plain :class:`LinkUpEvent` restores one member at
+    a time with its original attributes — exactly how a cut conduit comes
+    back span by span.
+    """
+
+    group: str = ""
+    kind = "srlg_failure"
+
+    def validate(self) -> None:
+        super().validate()
+        require(bool(self.group), "srlg_failure requires a non-empty 'group'")
+
+    def validate_against(self, graph: PropertyGraph) -> None:
+        srlgs = graph_srlgs(graph)
+        require(self.group in srlgs,
+                f"srlg_failure names unknown group {self.group!r}; groups "
+                f"declared on this topology: {sorted(srlgs)}")
+        missing = [(source, target) for source, target in srlgs[self.group]
+                   if not graph.has_edge(source, target)]
+        require(not missing,
+                f"SRLG {self.group!r} references link(s) missing from the "
+                f"topology: {sorted((str(s), str(t)) for s, t in missing)}")
+
+    def apply(self, graph: PropertyGraph, state: EngineState) -> List[str]:
+        members = graph_srlgs(graph).get(self.group, [])
+        cut = 0
+        for source, target in members:
+            if not graph.has_edge(source, target):
+                continue
+            state.removed_edges[(source, target)] = dict(
+                graph.edge_attributes(source, target))
+            graph.remove_edge(source, target)
+            cut += 1
+        return [f"srlg failure: {self.group} ({cut} of {len(members)} links cut)"]
+
+    def _payload(self) -> Dict[str, Any]:
+        return {"group": self.group}
+
+
+@dataclass
+class MaintenanceWindowEvent(ScenarioEvent):
+    """A scheduled drain window: drain at ``at``, guaranteed restore at ``end``.
+
+    The event is *declarative* — it stays one entry in the spec's JSON — and
+    the engine's expansion pass turns it into primitive drain/restore pairs
+    (:class:`NodeLeaveEvent`/:class:`NodeJoinEvent` for a node drain,
+    :class:`LinkDownEvent`/:class:`LinkUpEvent` per drained link).  Because
+    both halves come from the same declaration, a drain can never be left
+    dangling by a forgotten restore event.
+    """
+
+    end: Optional[float] = None
+    node: Any = None
+    links: Optional[List[Dict[str, Any]]] = None
+    kind = "maintenance_window"
+
+    def validate(self) -> None:
+        super().validate()
+        require(self.end is not None,
+                "maintenance_window requires an 'end' time")
+        require(self.end > self.at,
+                f"maintenance window must end after it starts "
+                f"(start {self.at}, end {self.end})")
+        require((self.node is not None) != bool(self.links),
+                "maintenance_window drains either a 'node' or a list of "
+                "'links' (exactly one of the two)")
+        for link in self.links or []:
+            require(isinstance(link, dict) and "source" in link and "target" in link,
+                    "each maintenance_window link needs 'source' and 'target'")
+
+    def targets(self) -> List[Tuple[str, Any]]:
+        """The drained entities, as hashable keys for overlap detection."""
+        if self.node is not None:
+            return [("node", self.node)]
+        return [("link", tuple(sorted((str(link["source"]), str(link["target"])))))
+                for link in self.links or []]
+
+    def validate_against(self, graph: PropertyGraph) -> None:
+        if self.node is not None:
+            require(graph.has_node(self.node),
+                    f"maintenance_window drains node {self.node!r}, which is "
+                    f"not in the topology")
+            return
+        missing = [(link["source"], link["target"]) for link in self.links or []
+                   if not graph.has_edge(link["source"], link["target"])]
+        require(not missing,
+                f"maintenance_window drains link(s) missing from the "
+                f"topology: {sorted((str(s), str(t)) for s, t in missing)}")
+
+    def expand(self) -> List[ScenarioEvent]:
+        """The primitive drain/restore pair(s) this window declares."""
+        self.validate()
+        if self.node is not None:
+            return [NodeLeaveEvent(at=self.at, node=self.node),
+                    NodeJoinEvent(at=self.end, node=self.node)]
+        expanded: List[ScenarioEvent] = []
+        for link in self.links or []:
+            expanded.append(LinkDownEvent(at=self.at, source=link["source"],
+                                          target=link["target"]))
+            expanded.append(LinkUpEvent(at=self.end, source=link["source"],
+                                        target=link["target"]))
+        return expanded
+
+    def apply(self, graph: PropertyGraph, state: EngineState) -> List[str]:
+        raise RuntimeError(
+            "maintenance_window is declarative: the engine expands it into "
+            "drain/restore steps via expand_events(); it is never applied "
+            "directly")
+
+    def _payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"end": self.end}
+        if self.node is not None:
+            payload["node"] = self.node
+        if self.links is not None:
+            payload["links"] = [dict(link) for link in self.links]
+        return payload
+
+
+@dataclass
+class GravityTrafficEvent(ScenarioEvent):
+    """Re-shape traffic counters with a gravity model over node masses.
+
+    Every participating edge ``(u, v)`` gets the share ``mass(u) * mass(v) /
+    Σ mass(u') * mass(v')`` of the (factor-scaled) total traffic — the
+    classic gravity traffic matrix, replacing the uniform scaling of
+    :class:`TrafficSurgeEvent`.  Edges without counters are first seeded
+    deterministically from their ``capacity_gbps``
+    (:data:`GRAVITY_BASELINE_PER_GBPS`).
+
+    With ``region`` set, only edges whose *both* endpoints carry that
+    ``region_attribute`` value participate — the regional-hotspot variant:
+    one metro's traffic grows and concentrates while the rest of the network
+    is untouched.
+    """
+
+    factor: float = 1.0
+    mass_attribute: str = "mass"
+    region: Optional[str] = None
+    region_attribute: str = "region"
+    keys: Tuple[str, ...] = field(default_factory=lambda: TRAFFIC_KEYS)
+    kind = "gravity_traffic"
+
+    def validate(self) -> None:
+        super().validate()
+        require(self.factor > 0, f"gravity factor must be positive, got {self.factor}")
+        require(len(self.keys) > 0, "gravity_traffic requires at least one counter key")
+
+    def _weights(self, graph: PropertyGraph) -> Dict[Tuple[Any, Any], float]:
+        """Gravity weight per participating edge (zero-mass edges drop out)."""
+        weights: Dict[Tuple[Any, Any], float] = {}
+        for source, target in graph.edges():
+            if self.region is not None:
+                if (graph.node_attributes(source).get(self.region_attribute)
+                        != self.region):
+                    continue
+                if (graph.node_attributes(target).get(self.region_attribute)
+                        != self.region):
+                    continue
+            mass_source = graph.node_attributes(source).get(self.mass_attribute, 0) or 0
+            mass_target = graph.node_attributes(target).get(self.mass_attribute, 0) or 0
+            weight = float(mass_source) * float(mass_target)
+            if weight > 0:
+                weights[(source, target)] = weight
+        return weights
+
+    def validate_against(self, graph: PropertyGraph) -> None:
+        scope = (f"region {self.region!r}" if self.region is not None
+                 else "the whole graph")
+        require(bool(self._weights(graph)),
+                f"gravity_traffic over {scope} has zero total mass: no edge "
+                f"joins two nodes with a positive {self.mass_attribute!r} "
+                f"attribute")
+
+    def apply(self, graph: PropertyGraph, state: EngineState) -> List[str]:
+        weights = self._weights(graph)
+        scope = str(self.region) if self.region is not None else "all regions"
+        if not weights:
+            return [f"gravity traffic x{self.factor} on {scope} (no massive edges)"]
+        total_weight = sum(weights.values())
+        for key in self.keys:
+            per_gbps = GRAVITY_BASELINE_PER_GBPS.get(key, 0)
+            current: Dict[Tuple[Any, Any], Any] = {}
+            for edge in weights:
+                attrs = graph.edge_attributes(*edge)
+                current[edge] = attrs.get(
+                    key, int(attrs.get("capacity_gbps", 0) * per_gbps))
+            total = sum(current.values()) * self.factor
+            for edge, weight in weights.items():
+                share = total * weight / total_weight
+                graph.edge_attributes(*edge)[key] = (
+                    int(round(share)) if isinstance(current[edge], int)
+                    else round(share, 6))
+        return [f"gravity traffic x{self.factor} on {scope} "
+                f"({len(weights)} edges re-shaped)"]
+
+    def _payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"factor": self.factor}
+        if self.mass_attribute != "mass":
+            payload["mass_attribute"] = self.mass_attribute
+        if self.region is not None:
+            payload["region"] = self.region
+        if self.region_attribute != "region":
+            payload["region_attribute"] = self.region_attribute
+        if tuple(self.keys) != TRAFFIC_KEYS:
+            payload["keys"] = list(self.keys)
+        return payload
+
+
+def expand_events(events: List[ScenarioEvent],
+                  graph: Optional[PropertyGraph] = None) -> List[ScenarioEvent]:
+    """Expand declarative events into primitives, preserving time order.
+
+    Maintenance windows become their drain/restore pairs.  Two windows that
+    drain the same entity over overlapping intervals are rejected: the second
+    drain would no-op (the entity is already down) and its restore would then
+    resurrect the entity mid-way through the first window — a silently
+    corrupted timeline instead of the declared schedule.  For the same
+    reason, an entity may not be controlled both by a window and by other
+    failure events in one timeline — manual churn/link primitives, or an
+    SRLG failure whose member links (resolved against *graph* when given)
+    include a drained link: the window's guaranteed restore would override
+    the state those events declared.
+    """
+    windows = [event for event in events
+               if isinstance(event, MaintenanceWindowEvent)]
+    for index, first in enumerate(windows):
+        for second in windows[index + 1:]:
+            shared = set(first.targets()) & set(second.targets())
+            if not shared:
+                continue
+            require(first.end <= second.at or second.end <= first.at,
+                    f"overlapping maintenance windows on "
+                    f"{sorted(str(item) for item in shared)}: "
+                    f"[{first.at}, {first.end}) overlaps [{second.at}, {second.end})")
+    manual: set = set()
+    for event in events:
+        if isinstance(event, (NodeLeaveEvent, NodeJoinEvent)):
+            manual.add(("node", event.node))
+        elif isinstance(event, (LinkDownEvent, LinkUpEvent)):
+            manual.add(("link", tuple(sorted((str(event.source),
+                                              str(event.target))))))
+        elif isinstance(event, SrlgFailureEvent) and graph is not None:
+            for source, target in graph_srlgs(graph).get(event.group, []):
+                manual.add(("link", tuple(sorted((str(source), str(target))))))
+    for window in windows:
+        contested = manual & set(window.targets())
+        require(not contested,
+                f"maintenance window [{window.at}, {window.end}) and other "
+                f"failure events both target "
+                f"{sorted(str(item) for item in contested)}; one entity "
+                f"cannot be driven by both")
+    expanded: List[ScenarioEvent] = []
+    for event in events:
+        if isinstance(event, MaintenanceWindowEvent):
+            expanded.extend(event.expand())
+        else:
+            expanded.append(event)
+    return sorted(expanded, key=lambda event: event.at)
+
+
 #: serialization registry: kind tag -> event class
 EVENT_TYPES: Dict[str, Type[ScenarioEvent]] = {
     cls.kind: cls
     for cls in (LinkDownEvent, LinkUpEvent, CapacityDegradationEvent,
-                NodeLeaveEvent, NodeJoinEvent, TrafficSurgeEvent)
+                NodeLeaveEvent, NodeJoinEvent, TrafficSurgeEvent,
+                SrlgFailureEvent, MaintenanceWindowEvent, GravityTrafficEvent)
 }
 
 
@@ -315,7 +626,7 @@ def event_from_dict(payload: Dict[str, Any]) -> ScenarioEvent:
     require(not unknown,
             f"unknown field(s) {unknown} for event kind {kind!r}; "
             f"known fields: {sorted(allowed)}")
-    if kind == "traffic_surge" and "keys" in fields:
+    if "keys" in fields:
         fields["keys"] = tuple(fields["keys"])
     event = event_cls(**fields)
     event.validate()

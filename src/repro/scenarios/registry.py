@@ -13,10 +13,13 @@ from typing import Dict, List
 
 from repro.scenarios.events import (
     CapacityDegradationEvent,
+    GravityTrafficEvent,
     LinkDownEvent,
     LinkUpEvent,
+    MaintenanceWindowEvent,
     NodeJoinEvent,
     NodeLeaveEvent,
+    SrlgFailureEvent,
     TrafficSurgeEvent,
 )
 from repro.scenarios.spec import ScenarioSpec
@@ -120,6 +123,54 @@ def _builtin_specs() -> List[ScenarioSpec]:
                 LinkDownEvent(at=2.0, source="hub", target="leaf-3"),
                 CapacityDegradationEvent(at=5.0, factor=4.0, source="hub"),
                 LinkUpEvent(at=6.0, source="hub", target="leaf-3"),
+            ],
+        ),
+        ScenarioSpec(
+            name="wan-conduit-cut",
+            family="wan-backbone",
+            params={"pop_count": 12, "extra_links": 6},
+            seed=13,
+            description="A backhoe cuts the se-sw conduit: every span in the "
+                        "shared-risk group fails at once, one span is "
+                        "spliced early, the rest come back later.",
+            events=[
+                SrlgFailureEvent(at=1.0, group="conduit-se-sw"),
+                LinkUpEvent(at=3.0, source="pop-5", target="pop-6"),
+                LinkUpEvent(at=6.0, source="pop-4", target="pop-6"),
+                LinkUpEvent(at=6.0, source="pop-6", target="pop-11"),
+                LinkUpEvent(at=6.0, source="pop-10", target="pop-11"),
+            ],
+        ),
+        ScenarioSpec(
+            name="fattree-maintenance",
+            family="fat-tree",
+            params={"k": 4, "hosts_per_edge": 1},
+            seed=7,
+            description="Scheduled maintenance: one aggregation chassis and "
+                        "one pod's core uplinks are drained in overlapping "
+                        "windows while the surviving chassis saturates, and "
+                        "every drain is restored on schedule.",
+            events=[
+                MaintenanceWindowEvent(at=1.0, end=5.0, node="pod1-agg1"),
+                MaintenanceWindowEvent(at=2.0, end=6.0, links=[
+                    {"source": "pod0-agg0", "target": "core-0"},
+                    {"source": "pod0-agg0", "target": "core-1"},
+                ]),
+                CapacityDegradationEvent(at=3.0, factor=0.5, source="pod1-agg0"),
+            ],
+        ),
+        ScenarioSpec(
+            name="wan-gravity-hotspot",
+            family="wan-backbone",
+            params={"pop_count": 12, "extra_links": 6},
+            seed=31,
+            description="Gravity-model traffic lands on the backbone, the "
+                        "nw metro flash-crowds into a regional hotspot, "
+                        "then load cools off globally.",
+            events=[
+                GravityTrafficEvent(at=1.0, factor=1.0),
+                GravityTrafficEvent(at=3.0, factor=2.5, region="nw"),
+                TrafficSurgeEvent(at=5.0, factor=0.8),
             ],
         ),
         ScenarioSpec(

@@ -63,3 +63,20 @@ def default_suite() -> ScenarioSuite:
     )
     suite.validate()
     return suite
+
+
+def correlated_suite() -> ScenarioSuite:
+    """The correlated-dynamics sweep: SRLG cuts, maintenance windows, and
+    gravity traffic matrices, one scenario per new event kind."""
+    from repro.scenarios.registry import get_scenario
+
+    suite = ScenarioSuite(
+        name="correlated",
+        scenarios=[
+            get_scenario("wan-conduit-cut"),
+            get_scenario("fattree-maintenance"),
+            get_scenario("wan-gravity-hotspot"),
+        ],
+    )
+    suite.validate()
+    return suite

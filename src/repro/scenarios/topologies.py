@@ -116,6 +116,21 @@ def _build_fat_tree(params: Dict[str, Any], rng: DeterministicRng) -> PropertyGr
                 graph.add_edge(edge, host,
                                capacity_gbps=params["host_capacity_gbps"],
                                latency_ms=0.2)
+
+    # shared-risk link groups: every aggregation switch is one chassis (its
+    # uplinks and downlinks die with it), and each pod's core uplinks run
+    # through one cable conduit out of the pod
+    srlgs = {}
+    for pod in range(k):
+        conduit = []
+        for i in range(half):
+            agg = f"pod{pod}-agg{i}"
+            uplinks = [[agg, f"core-{c}"] for c in range(i * half, (i + 1) * half)]
+            downlinks = [[agg, f"pod{pod}-edge{j}"] for j in range(half)]
+            srlgs[f"chassis-{agg}"] = sorted(uplinks + downlinks)
+            conduit.extend(uplinks)
+        srlgs[f"conduit-pod{pod}"] = sorted(conduit)
+    graph.graph_attributes["srlgs"] = {name: srlgs[name] for name in sorted(srlgs)}
     return graph
 
 
@@ -130,10 +145,15 @@ def _build_wan_backbone(params: Dict[str, Any], rng: DeterministicRng) -> Proper
 
     graph = PropertyGraph(name=f"wan-{pops}pops", directed=False)
     position_rng = rng.fork("positions")
+    mass_rng = rng.fork("masses")
     for i in range(pops):
-        graph.add_node(f"pop-{i}", role="pop", name=f"pop-{i}",
-                       x=round(position_rng.uniform(0.0, 1.0), 4),
-                       y=round(position_rng.uniform(0.0, 1.0), 4))
+        x = round(position_rng.uniform(0.0, 1.0), 4)
+        y = round(position_rng.uniform(0.0, 1.0), 4)
+        # the POP's plane quadrant is its region; its "mass" is the
+        # population-like weight gravity traffic matrices are derived from
+        region = ("n" if y >= 0.5 else "s") + ("e" if x >= 0.5 else "w")
+        graph.add_node(f"pop-{i}", role="pop", name=f"pop-{i}", x=x, y=y,
+                       region=region, mass=round(mass_rng.uniform(1.0, 10.0), 3))
 
     def link(a: str, b: str) -> None:
         ax, ay = graph.node_attributes(a)["x"], graph.node_attributes(a)["y"]
@@ -157,6 +177,16 @@ def _build_wan_backbone(params: Dict[str, Any], rng: DeterministicRng) -> Proper
             continue
         link(f"pop-{a}", f"pop-{b}")
         added += 1
+
+    # shared-risk link groups: spans between the same pair of regions share
+    # one physical conduit (a backhoe through it cuts them all at once)
+    srlgs = {}
+    for source, target in graph.edges():
+        pair = sorted((graph.node_attributes(source)["region"],
+                       graph.node_attributes(target)["region"]))
+        srlgs.setdefault(f"conduit-{pair[0]}-{pair[1]}", []).append([source, target])
+    graph.graph_attributes["srlgs"] = {name: sorted(srlgs[name])
+                                       for name in sorted(srlgs)}
     return graph
 
 

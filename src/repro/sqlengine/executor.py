@@ -5,7 +5,6 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.sqlengine.ast_nodes import (
-    BinaryOp,
     ColumnRef,
     DeleteStatement,
     Expression,

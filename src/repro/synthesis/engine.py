@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
 from repro.graph import PropertyGraph, graph_to_dict
 from repro.synthesis import frames_emitter, networkx_emitter, sql_emitter

@@ -10,8 +10,8 @@ examples) and is tested against the corpus.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
 
 from repro.utils.validation import ValidationError
 

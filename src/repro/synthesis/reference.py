@@ -576,19 +576,22 @@ def _edge_pairs(edges) -> List[List[str]]:
     return sorted([str(source), str(target)] for source, target in edges)
 
 
-def _window(timeline: Any, intent: Intent) -> Tuple[PropertyGraph, PropertyGraph]:
-    """The (earlier, later) snapshot graphs an interval intent compares.
+def _window_bounds(timeline: Any, intent: Intent) -> Tuple[float, float]:
+    """The (start, end) times an interval intent references.
 
-    ``since``/``start`` anchor the earlier snapshot (default: initial) and
-    ``until``/``end`` the later one (default: final).
+    ``since``/``start`` anchor the window start (default: the first snapshot
+    time) and ``until``/``end`` the window end (default: the last).
     """
     start = intent.param("since", intent.param("start"))
     end = intent.param("until", intent.param("end"))
-    earlier = (timeline.initial_graph if start is None
-               else timeline.graph_at(float(start)))
-    later = (timeline.final_graph if end is None
-             else timeline.graph_at(float(end)))
-    return earlier, later
+    return (timeline.snapshots[0].time if start is None else float(start),
+            timeline.snapshots[-1].time if end is None else float(end))
+
+
+def _window(timeline: Any, intent: Intent) -> Tuple[PropertyGraph, PropertyGraph]:
+    """The (earlier, later) snapshot graphs an interval intent compares."""
+    start, end = _window_bounds(timeline, intent)
+    return timeline.graph_at(start), timeline.graph_at(end)
 
 
 def _total_edge_attr(graph: PropertyGraph, key: str) -> float:
@@ -693,3 +696,109 @@ def _isolated_nodes_at(timeline: Any, intent: Intent) -> ReferenceOutcome:
     graph = timeline.graph_at(float(intent.param("at", 0.0)))
     isolated = sorted(str(node) for node in graph.nodes() if graph.degree(node) == 0)
     return ReferenceOutcome(kind="value", value=isolated)
+
+
+# ---------------------------------------------------------------------------
+# correlated-dynamics intents: SRLGs, maintenance drains, regional gravity
+# ---------------------------------------------------------------------------
+def _initial_srlgs(timeline: Any) -> Dict[str, List[Tuple[Any, Any]]]:
+    """The SRLGs declared on the scenario's build-time topology."""
+    from repro.scenarios.events import graph_srlgs
+
+    return graph_srlgs(timeline.initial_graph)
+
+
+@_register_temporal("failed_srlgs_at")
+def _failed_srlgs_at(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    """SRLG groups *fully* failed at *at*: every member link is absent."""
+    graph = timeline.graph_at(float(intent.param("at", 0.0)))
+    failed = sorted(
+        name for name, members in _initial_srlgs(timeline).items()
+        if members and all(not graph.has_edge(source, target)
+                           for source, target in members))
+    return ReferenceOutcome(kind="value", value=failed)
+
+
+@_register_temporal("srlg_links_down_at")
+def _srlg_links_down_at(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    """The member links of one SRLG still absent at *at* (partial repair)."""
+    group = intent.param("group")
+    srlgs = _initial_srlgs(timeline)
+    if group not in srlgs:
+        raise UnknownIntentError(
+            f"srlg_links_down_at names unknown SRLG {group!r}; groups "
+            f"declared on scenario {timeline.scenario_name!r}: {sorted(srlgs)}")
+    graph = timeline.graph_at(float(intent.param("at", 0.0)))
+    down = [(source, target) for source, target in srlgs[group]
+            if not graph.has_edge(source, target)]
+    return ReferenceOutcome(kind="value", value=_edge_pairs(down))
+
+
+@_register_temporal("drained_links_between")
+def _drained_links_between(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    """Links drained *and restored* inside the window: present at both window
+    edges, absent in at least one snapshot strictly between them."""
+    earlier, later = _window(timeline, intent)
+    start, end = _window_bounds(timeline, intent)
+    drained = set()
+    for snapshot in timeline.snapshots:
+        if not start < snapshot.time < end:
+            continue
+        for source, target in earlier.edges():
+            if later.has_edge(source, target) and not snapshot.graph.has_edge(source, target):
+                drained.add((source, target))
+    return ReferenceOutcome(kind="value", value=_edge_pairs(drained))
+
+
+@_register_temporal("drained_nodes_between")
+def _drained_nodes_between(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    """Nodes drained and restored inside the window (cf. drained links)."""
+    earlier, later = _window(timeline, intent)
+    start, end = _window_bounds(timeline, intent)
+    drained = set()
+    for snapshot in timeline.snapshots:
+        if not start < snapshot.time < end:
+            continue
+        for node in earlier.nodes():
+            if later.has_node(node) and not snapshot.graph.has_node(node):
+                drained.add(node)
+    return ReferenceOutcome(kind="value", value=sorted(str(node) for node in drained))
+
+
+def _traffic_by_region(graph: PropertyGraph, key: str,
+                       region_attribute: str = "region") -> Dict[str, float]:
+    """Total traffic per region bucket; inter-region edges bucket under the
+    sorted region pair ("nw-sw"), so every edge lands in exactly one bucket."""
+    totals: Dict[str, float] = {}
+    for source, target, attrs in graph.edges(data=True):
+        region_source = graph.node_attributes(source).get(region_attribute)
+        region_target = graph.node_attributes(target).get(region_attribute)
+        if region_source is None or region_target is None:
+            continue
+        bucket = (region_source if region_source == region_target
+                  else "-".join(sorted((region_source, region_target))))
+        totals[bucket] = totals.get(bucket, 0) + attrs.get(key, 0)
+    return totals
+
+
+@_register_temporal("region_traffic_between")
+def _region_traffic_between(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    """Per-region traffic delta over the window (gravity hotspot footprint)."""
+    key = intent.param("key", "bytes")
+    earlier, later = _window(timeline, intent)
+    before = _traffic_by_region(earlier, key)
+    after = _traffic_by_region(later, key)
+    deltas = {bucket: round(after.get(bucket, 0) - before.get(bucket, 0), 6)
+              for bucket in sorted(set(before) | set(after))}
+    return ReferenceOutcome(kind="value", value=deltas)
+
+
+@_register_temporal("top_region_by_traffic_growth")
+def _top_region_by_traffic_growth(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    """The region bucket whose traffic grew most over the window (ties break
+    toward the lexicographically smallest bucket name)."""
+    deltas = _region_traffic_between(timeline, intent).value
+    if not deltas:
+        return ReferenceOutcome(kind="value", value=None)
+    best = min(deltas, key=lambda bucket: (-deltas[bucket], bucket))
+    return ReferenceOutcome(kind="value", value=best)

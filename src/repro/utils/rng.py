@@ -10,7 +10,7 @@ sub-streams keyed by strings.
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence, TypeVar
+from typing import List, Optional, Sequence, TypeVar
 
 from repro.utils.hashing import stable_hash
 

@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 from repro.core.application import ApplicationContext
 from repro.malt import (
     EntityKind,
-    MaltApplication,
     MaltTopologyConfig,
     RelationshipKind,
     generate_malt_topology,

@@ -8,7 +8,6 @@ from repro.benchmark import (
     BenchmarkRunner,
     EvaluationRecord,
     GoldenAnswerSelector,
-    ResultsEvaluator,
     ResultsLogger,
     classify_error,
     compare_values,

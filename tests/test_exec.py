@@ -209,6 +209,45 @@ class TestCache:
         assert cache.clear() == 4
         assert len(cache) == 0
 
+    def test_max_entries_evicts_least_recently_used(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path / "cache", max_entries=3)
+        tasks = [Task(key=f"cell-{i}", fn="repro.exec.demo:square",
+                      payload={"x": i}) for i in range(3)]
+        for index, task in enumerate(tasks):
+            run_tasks(TaskSet(name="one", tasks=[task]), cache=cache)
+            # spread mtimes so LRU order is unambiguous on coarse filesystems
+            os.utime(cache.entry_path(task.digest()), (index, index))
+        assert len(cache) == 3
+
+        # touching cell-0 via a hit refreshes its recency past cell-1/cell-2
+        hit, value = cache.get(tasks[0].digest())
+        assert hit and value == 0
+
+        newcomer = Task(key="cell-9", fn="repro.exec.demo:square",
+                        payload={"x": 9})
+        run_tasks(TaskSet(name="one", tasks=[newcomer]), cache=cache)
+        assert len(cache) == 3
+        assert cache.get(tasks[0].digest())[0]        # refreshed: survives
+        assert not cache.get(tasks[1].digest())[0]    # stalest: evicted
+        assert cache.get(newcomer.digest())[0]
+
+    def test_max_entries_bounds_growth_across_runs(self, tmp_path):
+        # the ROADMAP follow-up: a long-lived cache directory swept by many
+        # differing configurations must stop growing once it hits the bound
+        cache = ResultCache(tmp_path / "cache", max_entries=5)
+        for batch in range(4):
+            tasks = [Task(key=f"cell-{batch}-{i}", fn="repro.exec.demo:square",
+                          payload={"x": batch * 10 + i}) for i in range(4)]
+            run_tasks(TaskSet(name=f"run-{batch}", tasks=tasks), cache=cache)
+            assert len(cache) <= 5
+        assert len(cache) == 5
+
+    def test_max_entries_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="at least 1"):
+            ResultCache(tmp_path / "cache", max_entries=0)
+
 
 # ---------------------------------------------------------------------------
 # failure surfacing

@@ -21,13 +21,16 @@ from repro.scenarios import (
     CapacityDegradationEvent,
     EngineState,
     EventEngine,
+    GravityTrafficEvent,
     LinkDownEvent,
     LinkUpEvent,
+    MaintenanceWindowEvent,
     NodeJoinEvent,
     NodeLeaveEvent,
     ScenarioSpec,
     ScenarioSuite,
     ScenarioTimeline,
+    SrlgFailureEvent,
     TrafficSurgeEvent,
     build_topology,
     builtin_scenarios,
@@ -41,7 +44,6 @@ from repro.scenarios import (
     register_scenario,
     replay_scenario,
     scenario_names,
-    traffic_application_from_scenario,
 )
 from repro.traffic import TrafficAnalysisApplication
 from repro.utils.validation import ValidationError
@@ -218,6 +220,10 @@ class TestEvents:
             NodeJoinEvent(at=5.0, node="c", attributes={"role": "r"},
                           links=[{"peer": "b"}]),
             TrafficSurgeEvent(at=6.0, factor=3.0, node="a", keys=("bytes",)),
+            SrlgFailureEvent(at=7.0, group="conduit-1"),
+            MaintenanceWindowEvent(at=8.0, end=9.0, node="a"),
+            GravityTrafficEvent(at=10.0, factor=1.5, region="nw",
+                                keys=("bytes",)),
         ]
         assert {event.kind for event in events} == set(event_kinds())
         for event in events:

@@ -12,14 +12,13 @@ import pytest
 from repro.benchmark import (
     BenchmarkConfig,
     BenchmarkRunner,
-    ResultsEvaluator,
     TemporalGoldenSelector,
     temporal_queries,
     temporal_queries_for,
     temporal_query_by_id,
     temporal_scenario_names,
 )
-from repro.benchmark.queries import TIME_PARAMS, temporal_bucket_size
+from repro.benchmark.queries import temporal_bucket_size
 from repro.benchmark.tasks import run_temporal_cell, temporal_cell_task
 from repro.cli import main
 from repro.exec import ExecutionOptions, ResultCache
