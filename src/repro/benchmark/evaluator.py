@@ -19,7 +19,7 @@ against a golden list.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.benchmark.goldens import GoldenAnswer
 from repro.benchmark.queries import BenchmarkQuery, TemporalQuery
@@ -194,22 +194,36 @@ class ResultsEvaluator:
     def evaluate_temporal(self, query: TemporalQuery, model: str, answer: Any,
                           golden: GoldenAnswer,
                           details: Optional[Dict[str, Any]] = None,
+                          backend: str = "direct",
+                          generated_code: str = "",
+                          execution_error: Optional[Tuple[str, str]] = None,
                           ) -> EvaluationRecord:
         """Produce the verdict for one temporal-query answer.
 
-        Temporal queries are answered directly from the replayed timeline
-        (there is no generated-code execution stage), so the verdict is a
-        pure value comparison against the temporal golden.
+        *backend* is the answering path: ``direct`` (the model answers
+        straight from the replayed timeline; a pure value comparison) or a
+        codegen backend (``frames``/``networkx``), where *generated_code*
+        ran in the sandbox.  A sandbox failure arrives as *execution_error*
+        — an ``(error_type, error_message)`` pair — and is recorded as an
+        ``execute``-stage fault rather than compared.
         """
         record = EvaluationRecord(
             query_id=query.query_id,
             model=model,
-            backend="timeline",
+            backend=backend,
             complexity=query.complexity,
             passed=False,
+            generated_code=generated_code,
         )
         record.details.update(details or {})
         record.details["scenario"] = query.scenario
+        if execution_error is not None:
+            error_type, error_message = execution_error
+            record.failure_stage = "execute"
+            record.failure_reason = f"{error_type}: {error_message}"
+            record.details["error_type"] = error_type
+            record.details["error_message"] = error_message
+            return record
         if not compare_values(golden.value, answer, self.float_tolerance):
             record.failure_stage = "compare"
             record.failure_reason = ("temporal result value does not match "

@@ -188,7 +188,7 @@ _MALT: List[BenchmarkQuery] = [
 
 
 # ---------------------------------------------------------------------------
-# temporal queries (12, over the built-in scenario corpus)
+# temporal queries (24, over the built-in scenario corpus)
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class TemporalQuery:
@@ -311,6 +311,20 @@ _TEMPORAL: List[TemporalQuery] = [
     _tq("tq-h4", "traffic-flashcrowd",
         "By how many bytes did total traffic change between t=0 and t=1?",
         "hard", 3, "traffic_change_between", start=0.0, end=1.0, key="bytes"),
+    # -- MALT lifecycle over timelines (malt-chassis-drain) ----------------
+    _tq("tq-malt-e1", "malt-chassis-drain",
+        "How many packet switches are racked in the topology at t=2, while "
+        "ju1.a1.m1.s1c1 is drained?",
+        "easy", 7, "entity_count_at", entity_type="EK_PACKET_SWITCH", at=2.0),
+    _tq("tq-malt-m1", "malt-chassis-drain",
+        "What is the total capacity of the packet switches still racked at "
+        "t=2, during the drain?",
+        "medium", 7, "entity_capacity_at", entity_type="EK_PACKET_SWITCH",
+        at=2.0),
+    _tq("tq-malt-h1", "malt-chassis-drain",
+        "Which ports are orphaned at t=2, left without a containing switch "
+        "while their chassis slot is drained?",
+        "hard", 7, "orphaned_ports_at", at=2.0),
     # -- hard: correlated-dynamics scenarios ------------------------------
     _tq("tq-h5", "wan-conduit-cut",
         "Which spans of the cut se-sw conduit are still down at t=4, after "
@@ -328,7 +342,8 @@ _TEMPORAL: List[TemporalQuery] = [
 
 
 def temporal_queries() -> List[TemporalQuery]:
-    """The 12 temporal queries over the scenario corpus."""
+    """The temporal queries over the scenario corpus (8 scenarios, all
+    complexity buckets, including the MALT lifecycle family)."""
     return list(_TEMPORAL)
 
 

@@ -175,23 +175,30 @@ class AccuracyReport:
 
 @dataclass
 class TemporalAccuracyReport:
-    """Aggregated temporal accuracy, grouped per scenario and per snapshot."""
+    """Aggregated temporal accuracy, grouped per scenario, backend and
+    snapshot.  ``backends`` lists the answering paths swept: ``direct``
+    (straight from the timeline) and/or the timeline-aware codegen backends
+    (``frames``/``networkx``)."""
 
     scenarios: Sequence[str]
     models: Sequence[str]
+    backends: Sequence[str] = ("direct",)
     #: scenario -> ordered (snapshot time, digest) pairs of its replay
     snapshots: Dict[str, List[Tuple[float, str]]] = field(default_factory=dict)
     logger: ResultsLogger = field(default_factory=ResultsLogger)
 
     # ------------------------------------------------------------------
     def _records(self, model: Optional[str] = None,
-                 scenario: Optional[str] = None) -> List[EvaluationRecord]:
+                 scenario: Optional[str] = None,
+                 backend: Optional[str] = None) -> List[EvaluationRecord]:
         selected = self.logger.records
         if model is not None:
             selected = [r for r in selected if r.model == model]
         if scenario is not None:
             selected = [r for r in selected
                         if r.details.get("scenario") == scenario]
+        if backend is not None:
+            selected = [r for r in selected if r.backend == backend]
         return selected
 
     @staticmethod
@@ -200,24 +207,39 @@ class TemporalAccuracyReport:
             return 0.0
         return sum(1 for r in records if r.passed) / len(records)
 
-    def summary(self) -> Dict[str, Dict[str, float]]:
-        """model -> scenario -> accuracy over the temporal corpus."""
-        table: Dict[str, Dict[str, float]] = {}
+    def summary(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """model -> backend -> scenario -> accuracy over the temporal corpus."""
+        table: Dict[str, Dict[str, Dict[str, float]]] = {}
         for model in self.models:
-            table[model] = {scenario: self._accuracy(self._records(model, scenario))
-                            for scenario in self.scenarios}
+            table[model] = {}
+            for backend in self.backends:
+                table[model][backend] = {
+                    scenario: self._accuracy(self._records(model, scenario, backend))
+                    for scenario in self.scenarios}
         return table
 
-    def snapshot_breakdown(self, scenario: str) -> List[Dict[str, object]]:
+    def backend_summary(self) -> Dict[str, Dict[str, float]]:
+        """model -> backend -> overall accuracy (the codegen-vs-direct view)."""
+        table: Dict[str, Dict[str, float]] = {}
+        for model in self.models:
+            table[model] = {backend: self._accuracy(self._records(model, backend=backend))
+                            for backend in self.backends}
+        return table
+
+    def snapshot_breakdown(self, scenario: str,
+                           backend: Optional[str] = None,
+                           ) -> List[Dict[str, object]]:
         """Per-snapshot accuracy rows for one scenario.
 
         Each temporal query anchors at the latest snapshot its text
         references (whole-timeline questions anchor at the final snapshot);
-        a row aggregates every (query, model) cell anchored there.
+        a row aggregates every (query, model) cell anchored there — of one
+        answering *backend* when given, of all swept backends otherwise.
         """
         rows: List[Dict[str, object]] = []
         for time, digest in self.snapshots.get(scenario, []):
-            anchored = [r for r in self._records(scenario=scenario)
+            anchored = [r for r in self._records(scenario=scenario,
+                                                 backend=backend)
                         if r.details.get("anchor_time") == time]
             if not anchored:
                 continue
@@ -235,20 +257,44 @@ class TemporalAccuracyReport:
         rows = []
         summary = self.summary()
         for model in self.models:
-            rows.append([model] + [summary[model][scenario]
-                                   for scenario in self.scenarios])
-        return format_table(["model"] + list(self.scenarios), rows,
+            for backend in self.backends:
+                rows.append([model, backend]
+                            + [summary[model][backend][scenario]
+                               for scenario in self.scenarios])
+        return format_table(["model", "backend"] + list(self.scenarios), rows,
                             title="Temporal accuracy by scenario")
 
+    def render_backend_summary(self) -> str:
+        rows = []
+        summary = self.backend_summary()
+        for model in self.models:
+            rows.append([model] + [summary[model][backend]
+                                   for backend in self.backends])
+        return format_table(["model"] + list(self.backends), rows,
+                            title="Temporal accuracy by backend")
+
     def render_snapshot_tables(self) -> str:
+        """One per-snapshot table per scenario; multi-backend runs break
+        each snapshot down per answering backend so a row's accuracy always
+        describes a single path."""
         blocks = []
         for scenario in self.scenarios:
-            rows = [[row["time"], row["digest"], ", ".join(row["queries"]),
-                     row["cells"], row["accuracy"]]
-                    for row in self.snapshot_breakdown(scenario)]
+            if len(self.backends) == 1:
+                rows = [[row["time"], row["digest"], ", ".join(row["queries"]),
+                         row["cells"], row["accuracy"]]
+                        for row in self.snapshot_breakdown(scenario)]
+                headers = ["time", "digest", "queries", "cells", "accuracy"]
+            else:
+                rows = [[row["time"], backend, row["digest"],
+                         ", ".join(row["queries"]), row["cells"],
+                         row["accuracy"]]
+                        for backend in self.backends
+                        for row in self.snapshot_breakdown(scenario, backend)]
+                rows.sort(key=lambda row: row[0])
+                headers = ["time", "backend", "digest", "queries", "cells",
+                           "accuracy"]
             blocks.append(format_table(
-                ["time", "digest", "queries", "cells", "accuracy"], rows,
-                title=f"Per-snapshot accuracy — {scenario}"))
+                headers, rows, title=f"Per-snapshot accuracy — {scenario}"))
         return "\n\n".join(blocks)
 
 
@@ -414,22 +460,33 @@ class BenchmarkRunner:
     # ------------------------------------------------------------------
     def run_temporal_suite(self, scenarios: Optional[Sequence[str]] = None,
                            models: Optional[Sequence[str]] = None,
+                           backends: Sequence[str] = ("direct",),
                            ) -> TemporalAccuracyReport:
         """Answer the temporal query corpus over replayed scenario timelines.
 
-        Every (scenario, temporal query, model) cell becomes one fabric
-        task whose worker replays the scenario (memoized per process),
-        computes the temporal golden from the timeline's snapshots and
-        diffs, and evaluates the calibrated model's answer against it.
-        Results fold back in task order, so serial and parallel sweeps
-        produce byte-identical tables.
+        Every (scenario, temporal query, model, backend) cell becomes one
+        fabric task whose worker replays the scenario (memoized per
+        process), computes the temporal golden from the timeline's
+        snapshots and diffs, and evaluates the model's answer against it —
+        directly from the timeline for the ``direct`` backend, or by
+        emitting and sandbox-executing a timeline-aware program for the
+        ``frames``/``networkx`` backends.  Results fold back in task order,
+        so serial and parallel sweeps produce byte-identical tables.
         """
+        from repro.llm.calibration import TEMPORAL_BACKENDS
         from repro.scenarios.engine import replay_scenario
         from repro.scenarios.registry import get_scenario
+        from repro.utils.validation import require_in
 
         scenarios = list(scenarios or temporal_scenario_names())
         models = list(models or self.config.models)
-        report = TemporalAccuracyReport(scenarios=scenarios, models=models)
+        # order-preserving dedupe: a repeated backend would produce duplicate
+        # task keys and abort the whole sweep at TaskSet validation
+        backends = list(dict.fromkeys(backends))
+        for backend in backends:
+            require_in(backend, TEMPORAL_BACKENDS, "temporal backend")
+        report = TemporalAccuracyReport(scenarios=scenarios, models=models,
+                                        backends=backends)
 
         config_payload = self.config.to_payload()
         task_set = TaskSet(name="benchmark/temporal")
@@ -445,8 +502,10 @@ class BenchmarkRunner:
             spec_dict = spec.to_dict()
             for query in queries:
                 for model in models:
-                    task_set.add(temporal_cell_task(
-                        config_payload, spec_dict, query.query_id, model))
+                    for backend in backends:
+                        task_set.add(temporal_cell_task(
+                            config_payload, spec_dict, query.query_id, model,
+                            backend))
         for record in self._dispatch(task_set):
             report.logger.log(record)
         return report

@@ -17,7 +17,6 @@ lets results be cached by content digest.
 from __future__ import annotations
 
 import time
-from bisect import bisect_right
 from typing import Any, Dict
 
 from repro.benchmark.queries import query_by_id, temporal_query_by_id
@@ -79,25 +78,30 @@ def _build_application(config_payload: Dict[str, Any], app_context: Dict[str, An
 # temporal cells
 # ---------------------------------------------------------------------------
 def temporal_cell_task(config_payload: Dict[str, Any], spec_dict: Dict[str, Any],
-                       query_id: str, model: str) -> Task:
+                       query_id: str, model: str,
+                       backend: str = "direct") -> Task:
     """Describe one temporal-accuracy cell as a fabric task.
 
+    *backend* selects the answering path: ``direct`` (answer straight from
+    the replayed timeline) or a timeline-aware codegen backend
+    (``frames``/``networkx``) whose emitted program runs in the sandbox.
     The payload round-trips through JSON (spec dicts, config dumps), so
     temporal cells cross process boundaries and participate in the
     content-keyed result cache exactly like static benchmark cells.
     """
     scenario = spec_dict["name"]
     return Task(
-        key=f"bench/temporal/{scenario}/{query_id}/{model}",
+        key=f"bench/temporal/{scenario}/{backend}/{query_id}/{model}",
         fn=TEMPORAL_CELL_WORKER,
         payload={
             "config": config_payload,
             "spec": spec_dict,
             "query_id": query_id,
             "model": model,
+            "backend": backend,
         },
         # one group per scenario: cells sharing a timeline chunk together
-        # and replay it once per worker process
+        # and replay (and serialize) it once per worker process
         group=f"temporal/{scenario}",
     )
 
@@ -138,23 +142,17 @@ def _stale_answer(timeline, query, golden_value: Any) -> Any:
     deterministic, so serial and parallel sweeps stay byte-identical.
     """
     from repro.benchmark.queries import TIME_PARAMS
+    from repro.llm.faults import TemporalFaultInjector
     from repro.scenarios.engine import ScenarioTimeline
-    from repro.synthesis.intents import Intent
     from repro.synthesis.reference import evaluate_temporal_reference
 
     times = timeline.times()
     time_keys = [key for key, value in query.intent.params
                  if key in TIME_PARAMS and value is not None]
     if time_keys:
+        injector = TemporalFaultInjector()
         for shift in range(1, len(times)):
-            shifted = {}
-            for key, value in query.intent.params:
-                if key in time_keys:
-                    index = bisect_right(times, float(value)) - 1
-                    shifted[key] = times[max(0, index - shift)]
-                else:
-                    shifted[key] = value
-            intent = Intent.create(query.intent.name, **shifted)
+            intent = injector.misanchored_intent(query.intent, times, shift)
             value = evaluate_temporal_reference(timeline, intent).value
             if value != golden_value:
                 return value
@@ -168,21 +166,81 @@ def _stale_answer(timeline, query, golden_value: Any) -> Any:
     return _corrupt(golden_value)
 
 
+def _faulty_temporal_program(timeline, query, backend: str, golden_value: Any,
+                             engine, calibration, model: str):
+    """The (code, fault label) a failing codegen model emits.
+
+    The fault type is drawn from the calibration table and honoured where
+    the intent's shape allows (mis-anchoring needs a bound time parameter);
+    data-level faults escalate deterministically until the broken program's
+    answer actually *differs* from the golden (a mis-anchored program that
+    lands on the truth is not a failure), trying the other data fault next
+    and falling back to a crashing program — which always fails — when no
+    data fault can surface a difference.
+    """
+    from repro.benchmark.queries import TIME_PARAMS
+    from repro.llm.faults import TemporalFaultInjector, TemporalFaultType
+    from repro.scenarios.engine import ScenarioTimeline
+    from repro.synthesis.reference import evaluate_temporal_reference
+
+    injector = TemporalFaultInjector()
+    preferred = calibration.temporal_fault_type_for(query.query_id, model, backend)
+    attempts = {
+        TemporalFaultType.MISANCHORED_SNAPSHOT.value: (
+            TemporalFaultType.MISANCHORED_SNAPSHOT.value,
+            TemporalFaultType.OFF_BY_ONE_WINDOW.value),
+        TemporalFaultType.OFF_BY_ONE_WINDOW.value: (
+            TemporalFaultType.OFF_BY_ONE_WINDOW.value,
+            TemporalFaultType.MISANCHORED_SNAPSHOT.value),
+        TemporalFaultType.RUNTIME_CRASH.value: (),
+    }[preferred]
+    times = timeline.times()
+    time_keys = [key for key, value in query.intent.params
+                 if key in TIME_PARAMS and value is not None]
+    for fault in attempts:
+        if fault == TemporalFaultType.MISANCHORED_SNAPSHOT.value and time_keys:
+            # wrong snapshot anchoring: shift every referenced time earlier
+            for shift in range(1, len(times)):
+                intent = injector.misanchored_intent(query.intent, times, shift)
+                if evaluate_temporal_reference(timeline, intent).value != golden_value:
+                    code = engine.generate_temporal(intent, backend).code
+                    return code, f"misanchored_snapshot(shift={shift})"
+        elif fault == TemporalFaultType.OFF_BY_ONE_WINDOW.value:
+            # reason over a delta window missing its newest snapshots
+            for cut in range(1, len(timeline.snapshots)):
+                stale = ScenarioTimeline(scenario_name=timeline.scenario_name,
+                                         snapshots=timeline.snapshots[:-cut])
+                if evaluate_temporal_reference(stale, query.intent).value != golden_value:
+                    code = (injector.truncation_prelude(cut)
+                            + engine.generate_temporal(query.intent, backend).code)
+                    return code, f"off_by_one_window(cut={cut})"
+    return injector.crash_code(), TemporalFaultType.RUNTIME_CRASH.value
+
+
 def run_temporal_cell(payload: Dict[str, Any]):
     """Worker: answer one temporal query and return its verdict.
 
-    The timeline replay is memoized per process (cells of one scenario chunk
-    together via their shard group), and the golden is served by a memoized
+    The timeline replay (and, for codegen backends, its serialized form) is
+    memoized per process — cells of one scenario chunk together via their
+    shard group — and the golden is served by a memoized
     :class:`~repro.benchmark.goldens.TemporalGoldenSelector` keyed on the
     timeline's snapshot digests.
+
+    The ``direct`` backend answers from the timeline (the strawman-like
+    path); ``frames``/``networkx`` run the full pipeline — emit a
+    timeline-aware program, execute it in the sandbox against the serialized
+    snapshot sequence, and evaluate whatever the program leaves in
+    ``result``.  Sandbox failures are recorded as ``execute``-stage faults.
     """
     from repro.benchmark.evaluator import ResultsEvaluator
     from repro.benchmark.goldens import TemporalGoldenSelector
     from repro.benchmark.queries import temporal_bucket_size
     from repro.llm.calibration import CalibrationTable, DEFAULT_CALIBRATION
 
+    backend = payload.get("backend", "direct")
+    spec_hash = stable_hash(payload["spec"])
     timeline = worker_context(
-        ("scenario-timeline", stable_hash(payload["spec"])),
+        ("scenario-timeline", spec_hash),
         lambda: _replay_timeline(payload["spec"]))
     selector = worker_context(("temporal-golden-selector",), TemporalGoldenSelector)
 
@@ -193,26 +251,57 @@ def run_temporal_cell(payload: Dict[str, Any]):
     calibration = DEFAULT_CALIBRATION
     if payload["config"].get("calibration") is not None:
         calibration = CalibrationTable.from_dict(payload["config"]["calibration"])
-    # temporal questions are answered from the replayed timeline on the
-    # richest representation, so the networkx reliability column calibrates
-    # whether this model gets this query right
-    intended_correct = calibration.passes(
-        model, "traffic_analysis", "networkx", query.complexity,
-        query.difficulty_rank, temporal_bucket_size(query.complexity))
-    answer = (golden.value if intended_correct
-              else _stale_answer(timeline, query, golden.value))
+    # temporal cells calibrate against the traffic-analysis table: the
+    # direct path uses the strawman column, codegen backends use their
+    # representation's column (see CalibrationTable.temporal_passes)
+    intended_correct = calibration.temporal_passes(
+        model, backend, query.complexity, query.difficulty_rank,
+        temporal_bucket_size(query.complexity))
 
     anchor = query.anchor_time
     snapshot = (timeline.snapshots[-1] if anchor is None
                 else timeline.snapshot_at(anchor))
-    record = ResultsEvaluator().evaluate_temporal(
-        query, model, answer, golden,
-        details={
-            "anchor_time": snapshot.time,
-            "snapshot_digest": snapshot.digest,
-            "intended_correct": intended_correct,
-        })
-    return record
+    details = {
+        "anchor_time": snapshot.time,
+        "snapshot_digest": snapshot.digest,
+        "intended_correct": intended_correct,
+    }
+    evaluator = ResultsEvaluator()
+
+    if backend == "direct":
+        answer = (golden.value if intended_correct
+                  else _stale_answer(timeline, query, golden.value))
+        return evaluator.evaluate_temporal(query, model, answer, golden,
+                                           details=details, backend=backend)
+
+    # codegen backends: emit, sandbox-execute, evaluate.  The serialized
+    # timeline is parsed once per process (graphs treated as immutable);
+    # each cell only pays the per-backend namespace conversion.
+    from repro.scenarios.engine import timeline_to_dict
+    from repro.synthesis import CodeSynthesisEngine
+    from repro.synthesis.temporal import parse_timeline_payload, run_temporal_program
+
+    parsed_timeline = worker_context(
+        ("scenario-timeline-parsed", spec_hash),
+        lambda: parse_timeline_payload(timeline_to_dict(timeline)))
+    engine = worker_context(("synthesis-engine",), CodeSynthesisEngine)
+
+    if intended_correct:
+        code = engine.generate_temporal(query.intent, backend).code
+    else:
+        code, fault_label = _faulty_temporal_program(
+            timeline, query, backend, golden.value, engine, calibration, model)
+        details["fault"] = fault_label
+
+    outcome = run_temporal_program(code, parsed_timeline, backend)
+    if outcome.failed:
+        return evaluator.evaluate_temporal(
+            query, model, None, golden, details=details, backend=backend,
+            generated_code=code,
+            execution_error=(outcome.error_type, outcome.error_message))
+    return evaluator.evaluate_temporal(
+        query, model, outcome.result, golden, details=details,
+        backend=backend, generated_code=code)
 
 
 def run_benchmark_cell(payload: Dict[str, Any]):

@@ -27,6 +27,7 @@ from repro.core import NetworkManagementPipeline
 from repro.cost import CostAnalyzer
 from repro.exec import DEFAULT_CACHE_DIR, ExecutionOptions, ResultCache
 from repro.llm import available_models, create_provider
+from repro.llm.calibration import TEMPORAL_BACKENDS
 from repro.malt import MaltApplication
 from repro.techniques import ImprovementCaseStudy
 from repro.traffic import TrafficAnalysisApplication
@@ -102,6 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "scenario timelines instead of the static benchmark")
     bench.add_argument("--scenarios", nargs="*", default=None,
                        help="restrict --temporal to these scenario names")
+    bench.add_argument("--backend", dest="temporal_backends", action="append",
+                       choices=list(TEMPORAL_BACKENDS), default=None,
+                       metavar="BACKEND",
+                       help="answering backend for --temporal (repeatable): "
+                            "'direct' answers straight from the timeline, "
+                            "'frames'/'networkx' run timeline-aware codegen "
+                            "through the sandbox; the direct path is always "
+                            "included as the baseline column")
     bench.add_argument("--small-malt", action="store_true",
                        help="use a small MALT topology instead of the paper-scale one")
     bench.add_argument("--json", dest="json_path", default=None,
@@ -179,6 +188,8 @@ def _cmd_ask(args: argparse.Namespace) -> int:
 def _cmd_benchmark(args: argparse.Namespace) -> int:
     if args.temporal:
         return _cmd_benchmark_temporal(args)
+    require(not args.temporal_backends,
+            "--backend selects the temporal answering path; pass --temporal")
     config = BenchmarkConfig()
     if args.small_malt:
         from repro.malt import MaltTopologyConfig
@@ -209,10 +220,19 @@ def _cmd_benchmark(args: argparse.Namespace) -> int:
 
 def _cmd_benchmark_temporal(args: argparse.Namespace) -> int:
     """``repro benchmark --temporal`` — timelines, goldens, accuracy tables."""
+    # the direct path always runs as the baseline column so a codegen sweep
+    # reports its accuracy *alongside* the strawman-like behaviour; repeated
+    # --backend flags dedupe (order-preserving)
+    requested = dict.fromkeys(args.temporal_backends or [])
+    backends = ["direct"] + [b for b in requested if b != "direct"]
     runner = BenchmarkRunner(BenchmarkConfig(), execution=_execution_options(args))
-    report = runner.run_temporal_suite(scenarios=args.scenarios, models=args.models)
+    report = runner.run_temporal_suite(scenarios=args.scenarios,
+                                       models=args.models, backends=backends)
     _print_fabric(runner.last_run_report)
     print(report.render_summary())
+    if len(backends) > 1:
+        print()
+        print(report.render_backend_summary())
     print()
     print(report.render_snapshot_tables())
     if args.json_path:

@@ -19,15 +19,26 @@ many differing configurations stops growing without bound.
 
 from __future__ import annotations
 
+import itertools
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Iterator, Optional, Tuple
 
 
 #: default cache location (repo-local, covered by .gitignore)
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: per-process store counter: combined with the wall clock it stamps every
+#: entry with a monotonic store sequence, so LRU eviction can order a burst
+#: of stores that lands inside one filesystem-timestamp granule
+_STORE_COUNTER = itertools.count(1)
+
+
+def _store_sequence() -> Tuple[int, int]:
+    return (time.time_ns(), next(_STORE_COUNTER))
 
 
 class ResultCache:
@@ -56,7 +67,11 @@ class ResultCache:
         path = self.entry_path(digest)
         try:
             with open(path, "rb") as handle:
-                entry = pickle.load(handle)
+                # entries are two stacked pickles: a tiny store-sequence
+                # header, then the entry dict (legacy single-pickle entries
+                # surface the dict first and are still readable)
+                first = pickle.load(handle)
+                entry = first if isinstance(first, dict) else pickle.load(handle)
         except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
             # missing, torn, or unreadable entries — including entries whose
             # result class has since moved or been renamed — are all misses
@@ -66,11 +81,16 @@ class ResultCache:
         try:
             os.utime(path)  # refresh recency so LRU eviction spares hot entries
         except OSError:
-            pass
+            pass  # a concurrent evictor removed the entry; the hit stands
         return True, entry["value"]
 
     def put(self, digest: str, key: str, value: Any) -> None:
-        """Store one result atomically (last writer wins, entries identical)."""
+        """Store one result atomically (last writer wins, entries identical).
+
+        The store sequence is written as a separate fixed-small pickle ahead
+        of the entry so LRU eviction can rank tied entries without loading
+        their (arbitrarily large) result values.
+        """
         path = self.entry_path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"digest": digest, "key": key, "value": value}
@@ -78,6 +98,8 @@ class ResultCache:
         existed = path.exists()
         try:
             with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(_store_sequence(), handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
                 pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(temp_name, path)
         except BaseException:
@@ -98,9 +120,17 @@ class ResultCache:
     def evict_excess(self) -> int:
         """Delete least-recently-used entries beyond ``max_entries``.
 
-        Recency is the entry file's mtime (stores and hits both touch it);
-        ties break on the path so concurrent evictors agree on the victim
-        order.  Returns how many entries were removed.
+        Recency is the entry file's ``st_mtime_ns`` (stores and hits both
+        touch it).  On coarse-granularity filesystems a burst of stores can
+        tie even at nanosecond resolution, and a path tie-break would turn
+        eviction effectively alphabetical — so ties are broken by the store
+        sequence stamped into each entry's header at :meth:`put` time (the
+        path stays as the final tie-break so concurrent evictors agree on
+        the victim order).  A hit refreshes the mtime but not the stamped
+        sequence, so within one timestamp granule a just-hit old entry still
+        orders by its original store time — the window of that imprecision
+        is bounded by the filesystem's timestamp granularity.  Returns how
+        many entries were removed.
         """
         if self.max_entries is None:
             return 0
@@ -110,14 +140,39 @@ class ResultCache:
             self._approx_count = len(entries)
             return 0
 
-        def recency(path: Path):
+        stats = []
+        tie_counts: dict = {}
+        for path in entries:
             try:
-                return (path.stat().st_mtime, str(path))
+                mtime_ns = path.stat().st_mtime_ns
             except OSError:
-                return (0.0, str(path))  # vanished underneath us: oldest
+                mtime_ns = 0  # vanished underneath us: oldest
+            stats.append((mtime_ns, path))
+            tie_counts[mtime_ns] = tie_counts.get(mtime_ns, 0) + 1
+
+        def stored_sequence(path: Path) -> Tuple[int, int]:
+            try:
+                # new-format entries stop after the tiny header pickle; a
+                # legacy single-pickle entry deserializes fully here (a
+                # one-time cost that disappears as entries are re-stored)
+                with open(path, "rb") as handle:
+                    header = pickle.load(handle)
+                if isinstance(header, (tuple, list)) and len(header) == 2:
+                    return tuple(header)
+                return (0, 0)  # legacy single-pickle entry: oldest in its group
+            except (OSError, pickle.PickleError, EOFError, AttributeError,
+                    ImportError):
+                return (0, 0)  # unreadable: oldest within its tie group
+
+        def recency(item):
+            mtime_ns, path = item
+            # only tied groups pay for reading the entry's store sequence
+            sequence = (stored_sequence(path) if tie_counts[mtime_ns] > 1
+                        else (0, 0))
+            return (mtime_ns, sequence, str(path))
 
         removed = 0
-        for path in sorted(entries, key=recency)[:excess]:
+        for _, path in sorted(stats, key=recency)[:excess]:
             try:
                 path.unlink()
                 removed += 1

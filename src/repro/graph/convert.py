@@ -30,9 +30,15 @@ EDGE_TARGET_COLUMN = "target"
 # ---------------------------------------------------------------------------
 # NetworkX
 # ---------------------------------------------------------------------------
-def to_networkx(graph: PropertyGraph):
-    """Convert to ``networkx.DiGraph`` (or ``Graph`` for undirected graphs)."""
-    nx_graph = nx.DiGraph() if graph.directed else nx.Graph()
+def to_networkx(graph: PropertyGraph, force_directed: bool = False):
+    """Convert to ``networkx.DiGraph`` (or ``Graph`` for undirected graphs).
+
+    With *force_directed* an undirected graph is also exposed as a
+    ``DiGraph`` holding exactly the stored edge orientation — used by the
+    timeline-aware synthesis namespace, where snapshot diffs are defined
+    over raw stored tuples.
+    """
+    nx_graph = nx.DiGraph() if (graph.directed or force_directed) else nx.Graph()
     nx_graph.graph.update(graph.graph_attributes)
     nx_graph.graph["name"] = graph.name
     for node_id, attrs in graph.nodes(data=True):

@@ -32,6 +32,20 @@ COMPLEXITIES = ("easy", "medium", "hard")
 
 ReliabilityKey = Tuple[str, str, str, str]  # (model, application, backend, complexity)
 
+#: answering backends of the temporal suite.  "direct" is the strawman-like
+#: path (the model answers straight from the serialized timeline), while
+#: "frames" and "networkx" run the full codegen pipeline over the timeline.
+TEMPORAL_BACKENDS = ("direct", "frames", "networkx")
+
+#: which static reliability column calibrates each temporal backend: direct
+#: answering degrades like the strawman (the paper's argument against it),
+#: and the codegen backends inherit their representation's column.
+TEMPORAL_BACKEND_COLUMNS = {
+    "direct": "strawman",
+    "frames": "pandas",
+    "networkx": "networkx",
+}
+
 
 # ---------------------------------------------------------------------------
 # paper Table 3 — traffic analysis, per complexity (8 queries per bucket)
@@ -203,6 +217,45 @@ class CalibrationTable:
         """
         return difficulty_rank < self.passing_count(model, application, backend,
                                                     complexity, bucket_size)
+
+    # ------------------------------------------------------------------
+    # temporal suite calibration
+    # ------------------------------------------------------------------
+    def temporal_passes(self, model: str, backend: str, complexity: str,
+                        difficulty_rank: int, bucket_size: int) -> bool:
+        """Whether a temporal query passes on one answering backend.
+
+        Temporal cells calibrate against the traffic-analysis table: the
+        ``direct`` path uses the strawman column (answering from serialized
+        data degrades the same way), and each codegen backend uses its
+        representation's column — so the temporal suite reproduces the
+        paper's codegen-beats-direct ordering.
+        """
+        require_in(backend, TEMPORAL_BACKENDS, "temporal backend")
+        return self.passes(model, "traffic_analysis",
+                           TEMPORAL_BACKEND_COLUMNS[backend], complexity,
+                           difficulty_rank, bucket_size)
+
+    def temporal_fault_type_for(self, query_id: str, model: str,
+                                backend: str) -> str:
+        """Deterministically draw a codegen-temporal fault type.
+
+        Mirrors the observed failure mix of timeline reasoning: models most
+        often anchor at the wrong snapshot, sometimes reason over an
+        off-by-one delta window, and occasionally emit code that crashes
+        outright.  The draw is stable per (query, model, backend) so serial
+        and parallel sweeps agree.
+        """
+        weights = (("misanchored_snapshot", 3), ("off_by_one_window", 2),
+                   ("runtime_crash", 1))
+        total = sum(weight for _, weight in weights)
+        draw = stable_hash("temporal-fault", query_id, model, backend) % total
+        cumulative = 0
+        for name, weight in weights:
+            cumulative += weight
+            if draw < cumulative:
+                return name
+        return weights[-1][0]
 
     # ------------------------------------------------------------------
     def fault_type_for(self, application: str, query_id: str, model: str,

@@ -157,3 +157,62 @@ class FaultInjector:
             FaultType.GRAPHS_NOT_IDENTICAL: {"stage": "compare", "signal": "graph mismatch"},
         }
         return signatures[fault]
+
+
+# ---------------------------------------------------------------------------
+# codegen-temporal faults
+# ---------------------------------------------------------------------------
+class TemporalFaultType(str, enum.Enum):
+    """How timeline-aware code generation goes wrong.
+
+    These are deliberately distinct from the direct-answer fault model (a
+    stale re-read of the timeline): a failing codegen model emits a program
+    whose *time handling* is broken.
+    """
+
+    #: every referenced timestamp anchors one or more snapshots too early
+    MISANCHORED_SNAPSHOT = "misanchored_snapshot"
+    #: the program reasons over a delta window missing its newest snapshots
+    OFF_BY_ONE_WINDOW = "off_by_one_window"
+    #: the program indexes past the snapshot sequence and crashes
+    RUNTIME_CRASH = "runtime_crash"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class TemporalFaultInjector:
+    """Build the broken inputs/preludes of each temporal fault type.
+
+    Every method is a pure function of its arguments, keeping faulty
+    temporal programs deterministic across processes — a requirement of the
+    fabric's serial-vs-parallel byte-identity contract.
+    """
+
+    def misanchored_intent(self, intent, times, shift: int):
+        """*intent* with every bound time parameter shifted *shift* snapshots
+        earlier (clamped at the first snapshot)."""
+        from bisect import bisect_right
+
+        from repro.synthesis.intents import Intent
+        from repro.synthesis.reference import TEMPORAL_TIME_PARAMS
+
+        shifted = {}
+        for key, value in intent.params:
+            if key in TEMPORAL_TIME_PARAMS and value is not None:
+                index = bisect_right(times, float(value)) - 1
+                shifted[key] = times[max(0, index - shift)]
+            else:
+                shifted[key] = value
+        return Intent.create(intent.name, **shifted)
+
+    def truncation_prelude(self, cut: int) -> str:
+        """A prelude dropping the newest *cut* snapshots before the correct
+        program runs — the off-by-one delta-window fault."""
+        return (f"snapshots = snapshots[:-{cut}]\n"
+                f"deltas = deltas[:-{cut}]\n")
+
+    def crash_code(self) -> str:
+        """A plausible-looking anchoring bug that indexes off the end of the
+        snapshot sequence and raises ``IndexError`` in the sandbox."""
+        return "result = snapshots[len(snapshots)]['time']\n"

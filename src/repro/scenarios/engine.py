@@ -124,6 +124,104 @@ class ScenarioTimeline:
                             title=f"Scenario timeline — {self.scenario_name}")
 
 
+# ---------------------------------------------------------------------------
+# timeline serialization — the contract consumed by the timeline-aware
+# synthesis backends (see DESIGN.md "Timeline-aware synthesis")
+# ---------------------------------------------------------------------------
+TIMELINE_FORMAT_VERSION = 1
+
+
+def require_timeline_format(payload: Dict[str, object]) -> None:
+    """Reject serialized timelines written by a different format version.
+
+    Every reader of the payload calls this first, so a future format change
+    fails with a clear version mismatch instead of a shape error (or a
+    silently wrong timeline) deep inside graph deserialization.
+    """
+    from repro.utils.validation import require
+
+    found = payload.get("format_version")
+    require(found == TIMELINE_FORMAT_VERSION,
+            f"serialized timeline has format_version {found!r}; this reader "
+            f"understands version {TIMELINE_FORMAT_VERSION}")
+
+
+def diff_to_dict(diff: GraphDiff) -> Dict[str, object]:
+    """JSON-friendly structural dump of a :class:`GraphDiff`.
+
+    Attribute mismatches are flattened to ``(entity, key)`` pairs — the
+    mismatching *values* live in the adjacent snapshot graphs, and the
+    ``ABSENT`` sentinel inside full mismatch tuples does not survive JSON.
+    """
+    return {
+        "missing_nodes": [str(node) for node in diff.missing_nodes],
+        "extra_nodes": [str(node) for node in diff.extra_nodes],
+        "missing_edges": [[str(source), str(target)]
+                          for source, target in diff.missing_edges],
+        "extra_edges": [[str(source), str(target)]
+                        for source, target in diff.extra_edges],
+        "changed_node_attributes": [[str(node), key]
+                                    for node, key, _, _ in diff.node_attribute_mismatches],
+        "changed_edge_attributes": [[str(source), str(target), key]
+                                    for (source, target), key, _, _
+                                    in diff.edge_attribute_mismatches],
+    }
+
+
+def timeline_to_dict(timeline: "ScenarioTimeline") -> Dict[str, object]:
+    """Serialize a replayed timeline: snapshot sequence plus diff deltas.
+
+    The payload is pure JSON (it round-trips through the execution fabric's
+    canonical-payload machinery) and carries everything a generated program
+    needs: per-snapshot time, content digest, change log, the full node-link
+    graph, and the structural delta from the previous snapshot.
+    """
+    from repro.graph.serialization import graph_to_dict
+
+    entries = []
+    for snapshot in timeline.snapshots:
+        entries.append({
+            "time": snapshot.time,
+            "digest": snapshot.digest,
+            "changes": list(snapshot.changes),
+            "graph": graph_to_dict(snapshot.graph),
+            "delta": (None if snapshot.diff_from_previous is None
+                      else diff_to_dict(snapshot.diff_from_previous)),
+        })
+    return {
+        "format_version": TIMELINE_FORMAT_VERSION,
+        "scenario": timeline.scenario_name,
+        "snapshots": entries,
+    }
+
+
+def timeline_from_dict(payload: Dict[str, object]) -> "ScenarioTimeline":
+    """Rebuild a :class:`ScenarioTimeline` from :func:`timeline_to_dict`.
+
+    Graphs are reconstructed node-link entry by entry and the inter-snapshot
+    diffs are *recomputed* with :func:`diff_graphs` (the serialized deltas
+    only carry the structural JSON projection); content digests are
+    recomputed lazily and match the originals because the digest depends on
+    graph content alone.
+    """
+    from repro.graph.serialization import graph_from_dict
+
+    require_timeline_format(payload)
+    timeline = ScenarioTimeline(scenario_name=payload["scenario"])
+    previous = None
+    for entry in payload["snapshots"]:
+        graph = graph_from_dict(entry["graph"])
+        timeline.snapshots.append(Snapshot(
+            time=float(entry["time"]),
+            graph=graph,
+            changes=list(entry.get("changes", [])),
+            diff_from_previous=(None if previous is None
+                                else diff_graphs(previous, graph)),
+        ))
+        previous = graph
+    return timeline
+
+
 class EventEngine:
     """Replay one :class:`ScenarioSpec` into a :class:`ScenarioTimeline`."""
 

@@ -22,22 +22,31 @@ from repro.synthesis.intents import (
     IntentParseError,
     parse_query,
     KNOWN_INTENTS,
+    TEMPORAL_INTENT_SIGNATURES,
+    temporal_intent_names,
 )
 from repro.synthesis.engine import (
     CodeSynthesisEngine,
     UnsupportedQueryError,
     GeneratedProgram,
+    TEMPORAL_CODE_BACKENDS,
 )
 from repro.synthesis.reference import ReferenceOutcome, evaluate_reference
+from repro.synthesis.temporal import run_temporal_program, timeline_namespace
 
 __all__ = [
     "Intent",
     "IntentParseError",
     "parse_query",
     "KNOWN_INTENTS",
+    "TEMPORAL_INTENT_SIGNATURES",
+    "temporal_intent_names",
     "CodeSynthesisEngine",
     "UnsupportedQueryError",
     "GeneratedProgram",
+    "TEMPORAL_CODE_BACKENDS",
     "ReferenceOutcome",
     "evaluate_reference",
+    "run_temporal_program",
+    "timeline_namespace",
 ]

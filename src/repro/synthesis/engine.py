@@ -24,6 +24,12 @@ class UnsupportedQueryError(ValidationError):
 #: backends the engine can emit code for (strawman is answered, not coded)
 CODE_BACKENDS = ("networkx", "pandas", "sql")
 
+#: backends the engine can emit *timeline-aware* code for.  The dataframe
+#: backend is named "frames" on the temporal path (the CLI surface of
+#: ``repro benchmark --temporal --backend``); it maps to the same emitter as
+#: the static "pandas" backend.
+TEMPORAL_CODE_BACKENDS = ("frames", "networkx")
+
 
 @dataclass
 class GeneratedProgram:
@@ -97,6 +103,39 @@ class CodeSynthesisEngine:
                 f"backend {backend!r} cannot express intent {intent.name!r}") from exc
         language = "sql" if backend == "sql" else "python"
         return GeneratedProgram(code=code, language=language, backend=backend, intent=intent)
+
+    # ------------------------------------------------------------------
+    # timeline-aware synthesis
+    # ------------------------------------------------------------------
+    _TEMPORAL_EMITTERS = {
+        "networkx": networkx_emitter,
+        "frames": frames_emitter,
+    }
+
+    def supports_temporal(self, intent: Intent, backend: str) -> bool:
+        """Whether timeline-aware code can be produced for this intent."""
+        require_in(backend, TEMPORAL_CODE_BACKENDS, "backend")
+        return intent.name in self._TEMPORAL_EMITTERS[backend].TEMPORAL_TEMPLATES
+
+    def generate_temporal(self, intent: Intent, backend: str) -> GeneratedProgram:
+        """Produce a correct timeline-aware program for a temporal *intent*.
+
+        The emitted Python consumes the serialized-timeline namespace
+        (``snapshots`` + ``deltas`` — see :mod:`repro.synthesis.temporal`)
+        instead of a single-graph namespace.  Raises
+        :class:`UnsupportedQueryError` when the backend cannot express the
+        intent.
+        """
+        require_in(backend, TEMPORAL_CODE_BACKENDS, "backend")
+        emitter = self._TEMPORAL_EMITTERS[backend]
+        try:
+            code = emitter.emit_temporal(intent)
+        except KeyError as exc:
+            raise UnsupportedQueryError(
+                f"backend {backend!r} cannot express temporal intent "
+                f"{intent.name!r}") from exc
+        return GeneratedProgram(code=code, language="python", backend=backend,
+                                intent=intent)
 
     # ------------------------------------------------------------------
     def answer_directly(self, query: Union[str, Intent], graph: PropertyGraph) -> str:

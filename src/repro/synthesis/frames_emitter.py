@@ -311,3 +311,340 @@ def emit(intent: Intent) -> str:
     if intent.name not in TEMPLATES:
         raise KeyError(f"frames emitter does not support intent {intent.name!r}")
     return TEMPLATES[intent.name](intent)
+
+
+# ---------------------------------------------------------------------------
+# temporal intents — programs over a serialized ScenarioTimeline
+# ---------------------------------------------------------------------------
+# Temporal programs run against ``snapshots`` (a list of dicts with ``time``,
+# ``digest``, ``attributes`` and per-snapshot ``nodes_df``/``edges_df``
+# frames) and ``deltas`` (aligned structural diffs) — see DESIGN.md
+# "Timeline-aware synthesis" for the contract.  Missing edge attributes
+# surface as ``None`` cells, so the aggregating templates skip them, which
+# matches the reference semantics' ``attrs.get(key, 0)``.
+
+#: snapshot-anchoring helper shared by every timestamped temporal template
+_FRAMES_AT = (
+    "def frames_at(t):\n"
+    "    chosen = snapshots[0]\n"
+    "    for snap in snapshots:\n"
+    "        if snap['time'] <= t:\n"
+    "            chosen = snap\n"
+    "    return chosen\n"
+)
+
+#: edge-presence helper: the set of (source, target) pairs of one edge frame
+_EDGE_PAIRS = (
+    "def edge_pairs(edges_df):\n"
+    "    return set(zip(edges_df['source'].tolist(), edges_df['target'].tolist()))\n"
+)
+
+#: link-presence helper over a pair set: symmetric on undirected networks
+_HAS_PAIR = (
+    "def has_pair(pairs, u, v):\n"
+    "    if (u, v) in pairs:\n"
+    "        return True\n"
+    "    return (not snapshots[0]['directed']) and (v, u) in pairs\n"
+)
+
+#: total of one (possibly absent) numeric edge column, Nones skipped
+_EDGE_TOTAL = (
+    "def edge_total(edges_df, key):\n"
+    "    if key not in edges_df:\n"
+    "        return 0\n"
+    "    return sum(value for value in edges_df[key].tolist() if value is not None)\n"
+)
+
+
+def _frames_window_exprs(intent: Intent) -> tuple:
+    """Window expressions via the shared :func:`repro.synthesis.intents.
+    temporal_window` precedence (see the networkx emitter's counterpart)."""
+    from repro.synthesis.intents import temporal_window
+
+    start, end = temporal_window(intent)
+    return (repr(float(start)) if start is not None else "snapshots[0]['time']",
+            repr(float(end)) if end is not None else "snapshots[-1]['time']")
+
+
+def _frames_at_expr(intent: Intent) -> str:
+    return repr(float(intent.param("at", 0.0)))
+
+
+def _emit_tf_node_count_at(intent: Intent) -> str:
+    return _FRAMES_AT + f"result = len(frames_at({_frames_at_expr(intent)})['nodes_df'])\n"
+
+
+def _emit_tf_edge_count_at(intent: Intent) -> str:
+    return _FRAMES_AT + f"result = len(frames_at({_frames_at_expr(intent)})['edges_df'])\n"
+
+
+def _emit_tf_snapshot_count(intent: Intent) -> str:
+    return "result = len(snapshots)\n"
+
+
+def _emit_tf_isolated_nodes_at(intent: Intent) -> str:
+    return _FRAMES_AT + (
+        f"snap = frames_at({_frames_at_expr(intent)})\n"
+        "edges_df = snap['edges_df']\n"
+        "active = set(edges_df['source'].tolist()) | set(edges_df['target'].tolist())\n"
+        "result = sorted(str(node) for node in snap['nodes_df']['id'].tolist()\n"
+        "                if node not in active)\n"
+    )
+
+
+def _emit_tf_peak_traffic_time(intent: Intent) -> str:
+    key = intent.param("key", "bytes")
+    return _EDGE_TOTAL + (
+        "best_time = None\n"
+        "best_total = None\n"
+        "for snap in snapshots:\n"
+        f"    total = edge_total(snap['edges_df'], {key!r})\n"
+        "    if best_total is None or total > best_total:\n"
+        "        best_time = snap['time']\n"
+        "        best_total = total\n"
+        "result = best_time\n"
+    )
+
+
+def _emit_tf_failed_links_since(intent: Intent) -> str:
+    start, end = _frames_window_exprs(intent)
+    return _FRAMES_AT + _EDGE_PAIRS + (
+        f"earlier = edge_pairs(frames_at({start})['edges_df'])\n"
+        f"later = edge_pairs(frames_at({end})['edges_df'])\n"
+        "result = sorted([str(u), str(v)] for u, v in earlier if (u, v) not in later)\n"
+    )
+
+
+def _emit_tf_restored_links_since(intent: Intent) -> str:
+    start, end = _frames_window_exprs(intent)
+    return _FRAMES_AT + _EDGE_PAIRS + (
+        f"earlier = edge_pairs(frames_at({start})['edges_df'])\n"
+        f"later = edge_pairs(frames_at({end})['edges_df'])\n"
+        "result = sorted([str(u), str(v)] for u, v in later if (u, v) not in earlier)\n"
+    )
+
+
+def _emit_tf_churned_nodes_between(intent: Intent) -> str:
+    start, end = _frames_window_exprs(intent)
+    return _FRAMES_AT + (
+        f"earlier = set(frames_at({start})['nodes_df']['id'].tolist())\n"
+        f"later = set(frames_at({end})['nodes_df']['id'].tolist())\n"
+        "result = {\n"
+        "    'departed': sorted(str(n) for n in earlier - later),\n"
+        "    'joined': sorted(str(n) for n in later - earlier),\n"
+        "}\n"
+    )
+
+
+def _emit_tf_capacity_drop_at(intent: Intent) -> str:
+    attribute = intent.param("attribute", "capacity_gbps")
+    return _FRAMES_AT + _EDGE_TOTAL + (
+        f"baseline = edge_total(snapshots[0]['edges_df'], {attribute!r})\n"
+        f"current = edge_total(frames_at({_frames_at_expr(intent)})['edges_df'], {attribute!r})\n"
+        "result = round(baseline - current, 6)\n"
+    )
+
+
+def _emit_tf_degraded_links_at(intent: Intent) -> str:
+    attribute = intent.param("attribute", "capacity_gbps")
+    return _FRAMES_AT + (
+        "initial = snapshots[0]['edges_df']\n"
+        f"current = frames_at({_frames_at_expr(intent)})['edges_df']\n"
+        "initial_value = {}\n"
+        f"if {attribute!r} in initial:\n"
+        "    for u, v, value in zip(initial['source'].tolist(), initial['target'].tolist(),\n"
+        f"                           initial[{attribute!r}].tolist()):\n"
+        "        initial_value[(u, v)] = value\n"
+        "        if not snapshots[0]['directed']:\n"
+        "            initial_value[(v, u)] = value\n"
+        "degraded = []\n"
+        f"if {attribute!r} in current:\n"
+        "    for u, v, now in zip(current['source'].tolist(), current['target'].tolist(),\n"
+        f"                         current[{attribute!r}].tolist()):\n"
+        "        before = initial_value.get((u, v))\n"
+        "        if before is not None and now is not None and now < before:\n"
+        "            degraded.append([str(u), str(v)])\n"
+        "result = sorted(degraded)\n"
+    )
+
+
+def _emit_tf_traffic_change_between(intent: Intent) -> str:
+    key = intent.param("key", "bytes")
+    start, end = _frames_window_exprs(intent)
+    return _FRAMES_AT + _EDGE_TOTAL + (
+        f"before = edge_total(frames_at({start})['edges_df'], {key!r})\n"
+        f"after = edge_total(frames_at({end})['edges_df'], {key!r})\n"
+        "result = round(after - before, 6)\n"
+    )
+
+
+def _emit_tf_failed_srlgs_at(intent: Intent) -> str:
+    return _FRAMES_AT + _EDGE_PAIRS + _HAS_PAIR + (
+        "srlgs = snapshots[0]['attributes'].get('srlgs', {})\n"
+        f"present = edge_pairs(frames_at({_frames_at_expr(intent)})['edges_df'])\n"
+        "result = sorted(\n"
+        "    name for name, members in srlgs.items()\n"
+        "    if members and all(not has_pair(present, source, target)\n"
+        "                       for source, target in members))\n"
+    )
+
+
+def _emit_tf_srlg_links_down_at(intent: Intent) -> str:
+    group = intent.param("group")
+    return _FRAMES_AT + _EDGE_PAIRS + _HAS_PAIR + (
+        f"members = snapshots[0]['attributes'].get('srlgs', {{}}).get({group!r}, [])\n"
+        f"present = edge_pairs(frames_at({_frames_at_expr(intent)})['edges_df'])\n"
+        "result = sorted([str(source), str(target)] for source, target in members\n"
+        "                if not has_pair(present, source, target))\n"
+    )
+
+
+def _emit_tf_drained_links_between(intent: Intent) -> str:
+    start, end = _frames_window_exprs(intent)
+    return _FRAMES_AT + _EDGE_PAIRS + _HAS_PAIR + (
+        f"start = {start}\n"
+        f"end = {end}\n"
+        "earlier = edge_pairs(frames_at(start)['edges_df'])\n"
+        "later = edge_pairs(frames_at(end)['edges_df'])\n"
+        "drained = set()\n"
+        "for snap in snapshots:\n"
+        "    if not (start < snap['time'] < end):\n"
+        "        continue\n"
+        "    present = edge_pairs(snap['edges_df'])\n"
+        "    for u, v in earlier:\n"
+        "        if has_pair(later, u, v) and not has_pair(present, u, v):\n"
+        "            drained.add((str(u), str(v)))\n"
+        "result = sorted([u, v] for u, v in drained)\n"
+    )
+
+
+def _emit_tf_drained_nodes_between(intent: Intent) -> str:
+    start, end = _frames_window_exprs(intent)
+    return _FRAMES_AT + (
+        f"start = {start}\n"
+        f"end = {end}\n"
+        "earlier = set(frames_at(start)['nodes_df']['id'].tolist())\n"
+        "later = set(frames_at(end)['nodes_df']['id'].tolist())\n"
+        "drained = set()\n"
+        "for snap in snapshots:\n"
+        "    if not (start < snap['time'] < end):\n"
+        "        continue\n"
+        "    present = set(snap['nodes_df']['id'].tolist())\n"
+        "    for node in earlier:\n"
+        "        if node in later and node not in present:\n"
+        "            drained.add(str(node))\n"
+        "result = sorted(drained)\n"
+    )
+
+
+_FRAMES_REGION_TOTALS = (
+    "def region_totals(snap, key):\n"
+    "    nodes_df = snap['nodes_df']\n"
+    "    edges_df = snap['edges_df']\n"
+    "    totals = {}\n"
+    "    if 'region' not in nodes_df or key not in edges_df:\n"
+    "        return totals\n"
+    "    region_of = dict(zip(nodes_df['id'].tolist(), nodes_df['region'].tolist()))\n"
+    "    for u, v, value in zip(edges_df['source'].tolist(), edges_df['target'].tolist(),\n"
+    "                           edges_df[key].tolist()):\n"
+    "        ru = region_of.get(u)\n"
+    "        rv = region_of.get(v)\n"
+    "        if ru is None or rv is None:\n"
+    "            continue\n"
+    "        bucket = ru if ru == rv else '-'.join(sorted((ru, rv)))\n"
+    "        totals[bucket] = totals.get(bucket, 0) + (value or 0)\n"
+    "    return totals\n"
+)
+
+
+def _emit_tf_region_traffic_between(intent: Intent) -> str:
+    key = intent.param("key", "bytes")
+    start, end = _frames_window_exprs(intent)
+    return _FRAMES_AT + _FRAMES_REGION_TOTALS + (
+        f"before = region_totals(frames_at({start}), {key!r})\n"
+        f"after = region_totals(frames_at({end}), {key!r})\n"
+        "result = {bucket: round(after.get(bucket, 0) - before.get(bucket, 0), 6)\n"
+        "          for bucket in sorted(set(before) | set(after))}\n"
+    )
+
+
+def _emit_tf_top_region_by_traffic_growth(intent: Intent) -> str:
+    return _emit_tf_region_traffic_between(intent) + (
+        "deltas = result\n"
+        "result = None\n"
+        "if deltas:\n"
+        "    result = min(deltas, key=lambda bucket: (-deltas[bucket], bucket))\n"
+    )
+
+
+def _emit_tf_entity_count_at(intent: Intent) -> str:
+    entity_type = intent.param("entity_type", "EK_PACKET_SWITCH")
+    return _FRAMES_AT + (
+        f"nodes_df = frames_at({_frames_at_expr(intent)})['nodes_df']\n"
+        f"result = len(nodes_df[nodes_df['type'] == {entity_type!r}])\n"
+    )
+
+
+def _emit_tf_entity_capacity_at(intent: Intent) -> str:
+    entity_type = intent.param("entity_type", "EK_PACKET_SWITCH")
+    return _FRAMES_AT + (
+        f"nodes_df = frames_at({_frames_at_expr(intent)})['nodes_df']\n"
+        f"entities = nodes_df[nodes_df['type'] == {entity_type!r}]\n"
+        "result = sum(value for value in entities['capacity'].tolist()\n"
+        "             if value is not None) if 'capacity' in entities else 0\n"
+    )
+
+
+def _emit_tf_orphaned_ports_at(intent: Intent) -> str:
+    return _FRAMES_AT + (
+        f"snap = frames_at({_frames_at_expr(intent)})\n"
+        "nodes_df = snap['nodes_df']\n"
+        "edges_df = snap['edges_df']\n"
+        "contained = set()\n"
+        "if 'relationship' in edges_df:\n"
+        "    for target, relationship in zip(edges_df['target'].tolist(),\n"
+        "                                    edges_df['relationship'].tolist()):\n"
+        "        if relationship == 'RK_CONTAINS':\n"
+        "            contained.add(target)\n"
+        "ports = nodes_df[nodes_df['type'] == 'EK_PORT']\n"
+        "result = sorted(str(port) for port in ports['id'].tolist()\n"
+        "                if port not in contained)\n"
+    )
+
+
+#: temporal intent name -> template over the serialized timeline namespace
+TEMPORAL_TEMPLATES: Dict[str, Callable[[Intent], str]] = {
+    "node_count_at": _emit_tf_node_count_at,
+    "edge_count_at": _emit_tf_edge_count_at,
+    "snapshot_count": _emit_tf_snapshot_count,
+    "isolated_nodes_at": _emit_tf_isolated_nodes_at,
+    "peak_traffic_time": _emit_tf_peak_traffic_time,
+    "failed_links_since": _emit_tf_failed_links_since,
+    "restored_links_since": _emit_tf_restored_links_since,
+    "churned_nodes_between": _emit_tf_churned_nodes_between,
+    "capacity_drop_at": _emit_tf_capacity_drop_at,
+    "degraded_links_at": _emit_tf_degraded_links_at,
+    "traffic_change_between": _emit_tf_traffic_change_between,
+    "failed_srlgs_at": _emit_tf_failed_srlgs_at,
+    "srlg_links_down_at": _emit_tf_srlg_links_down_at,
+    "drained_links_between": _emit_tf_drained_links_between,
+    "drained_nodes_between": _emit_tf_drained_nodes_between,
+    "region_traffic_between": _emit_tf_region_traffic_between,
+    "top_region_by_traffic_growth": _emit_tf_top_region_by_traffic_growth,
+    "entity_count_at": _emit_tf_entity_count_at,
+    "entity_capacity_at": _emit_tf_entity_capacity_at,
+    "orphaned_ports_at": _emit_tf_orphaned_ports_at,
+}
+
+
+def supported_temporal_intents() -> List[str]:
+    """Temporal intent names this emitter can generate code for."""
+    return sorted(TEMPORAL_TEMPLATES)
+
+
+def emit_temporal(intent: Intent) -> str:
+    """Render timeline-aware dataframe code for a temporal *intent*."""
+    if intent.name not in TEMPORAL_TEMPLATES:
+        raise KeyError(
+            f"frames emitter does not support temporal intent {intent.name!r}")
+    return TEMPORAL_TEMPLATES[intent.name](intent)

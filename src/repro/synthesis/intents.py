@@ -89,6 +89,60 @@ KNOWN_INTENTS: Dict[str, List[str]] = {
 }
 
 
+#: temporal intent signatures: intent name -> accepted parameter names.
+#: Temporal intents are evaluated over a replayed scenario timeline rather
+#: than a single graph; ``at``/``since``/``until``/``start``/``end`` are
+#: snapshot-time anchors (see ``repro.synthesis.reference``
+#: ``TEMPORAL_TIME_PARAMS``).  The timeline-aware emitters and the temporal
+#: fault injector both validate against these signatures.
+TEMPORAL_INTENT_SIGNATURES: Dict[str, Tuple[str, ...]] = {
+    # single-snapshot lookups
+    "node_count_at": ("at",),
+    "edge_count_at": ("at",),
+    "isolated_nodes_at": ("at",),
+    "capacity_drop_at": ("at", "attribute"),
+    "degraded_links_at": ("at", "attribute"),
+    # whole-timeline aggregations
+    "snapshot_count": (),
+    "peak_traffic_time": ("key",),
+    # windowed deltas
+    "failed_links_since": ("since", "until", "start", "end"),
+    "restored_links_since": ("since", "until", "start", "end"),
+    "churned_nodes_between": ("since", "until", "start", "end"),
+    "traffic_change_between": ("since", "until", "start", "end", "key"),
+    # correlated dynamics (SRLGs, maintenance drains, regional gravity)
+    "failed_srlgs_at": ("at",),
+    "srlg_links_down_at": ("at", "group"),
+    "drained_links_between": ("since", "until", "start", "end"),
+    "drained_nodes_between": ("since", "until", "start", "end"),
+    "region_traffic_between": ("since", "until", "start", "end", "key"),
+    "top_region_by_traffic_growth": ("since", "until", "start", "end", "key"),
+    # MALT lifecycle over timelines
+    "entity_count_at": ("at", "entity_type"),
+    "entity_capacity_at": ("at", "entity_type"),
+    "orphaned_ports_at": ("at",),
+}
+
+
+def temporal_intent_names() -> List[str]:
+    """Every temporal intent name, sorted."""
+    return sorted(TEMPORAL_INTENT_SIGNATURES)
+
+
+def temporal_window(intent: Intent) -> Tuple[Any, Any]:
+    """The (start, end) values an interval intent references, or ``None``.
+
+    ``since``/``start`` anchor the window start and ``until``/``end`` the
+    window end; ``since``/``until`` take precedence.  This is the single
+    source of that precedence — the temporal reference semantics and both
+    timeline-aware emitters all resolve windows through it, so they can
+    never disagree about which snapshot pair a window compares.
+    """
+    start = intent.param("since", intent.param("start"))
+    end = intent.param("until", intent.param("end"))
+    return start, end
+
+
 def _number(text: str) -> Any:
     value = float(text)
     return int(value) if value == int(value) else value

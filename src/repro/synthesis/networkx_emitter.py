@@ -430,3 +430,336 @@ def emit(intent: Intent) -> str:
     if intent.name not in TEMPLATES:
         raise KeyError(f"networkx emitter does not support intent {intent.name!r}")
     return TEMPLATES[intent.name](intent)
+
+
+# ---------------------------------------------------------------------------
+# temporal intents — programs over a serialized ScenarioTimeline
+# ---------------------------------------------------------------------------
+# Temporal programs run against ``snapshots`` (a list of dicts with ``time``,
+# ``digest``, ``directed``, ``attributes`` and a NetworkX ``graph`` exposed in
+# the timeline's stored edge orientation) and ``deltas`` (the aligned
+# structural diffs, ``None`` for the initial snapshot) instead of a single
+# ``G`` — see DESIGN.md "Timeline-aware synthesis" for the contract.
+# Templates that *diff* edge sets compare raw stored tuples (matching
+# ``graph.diff``); templates that ask "is this link up?" go through the
+# ``has_link`` helper, which is symmetric on undirected networks.
+
+#: snapshot-anchoring helper shared by every timestamped temporal template
+_GRAPH_AT = (
+    "def graph_at(t):\n"
+    "    chosen = snapshots[0]\n"
+    "    for snap in snapshots:\n"
+    "        if snap['time'] <= t:\n"
+    "            chosen = snap\n"
+    "    return chosen['graph']\n"
+)
+
+#: link-presence helper: symmetric when the network is undirected
+_HAS_LINK = (
+    "def has_link(G, u, v):\n"
+    "    if G.has_edge(u, v):\n"
+    "        return True\n"
+    "    return (not snapshots[0]['directed']) and G.has_edge(v, u)\n"
+)
+
+#: link-attribute lookup honouring undirected symmetry
+_LINK_DATA = (
+    "def link_data(G, u, v):\n"
+    "    if G.has_edge(u, v):\n"
+    "        return G.edges[u, v]\n"
+    "    if (not snapshots[0]['directed']) and G.has_edge(v, u):\n"
+    "        return G.edges[v, u]\n"
+    "    return None\n"
+)
+
+
+def _window_exprs(intent: Intent) -> tuple:
+    """Literal (start, end) expressions of an interval intent's window.
+
+    Parameter precedence is resolved by :func:`repro.synthesis.intents.
+    temporal_window` (shared with the reference semantics); unbound ends
+    render as the first/last snapshot-time expressions.
+    """
+    from repro.synthesis.intents import temporal_window
+
+    start, end = temporal_window(intent)
+    return (repr(float(start)) if start is not None else "snapshots[0]['time']",
+            repr(float(end)) if end is not None else "snapshots[-1]['time']")
+
+
+def _at_expr(intent: Intent) -> str:
+    return repr(float(intent.param("at", 0.0)))
+
+
+def _emit_t_node_count_at(intent: Intent) -> str:
+    return _GRAPH_AT + f"result = graph_at({_at_expr(intent)}).number_of_nodes()\n"
+
+
+def _emit_t_edge_count_at(intent: Intent) -> str:
+    return _GRAPH_AT + f"result = graph_at({_at_expr(intent)}).number_of_edges()\n"
+
+
+def _emit_t_snapshot_count(intent: Intent) -> str:
+    return "result = len(snapshots)\n"
+
+
+def _emit_t_isolated_nodes_at(intent: Intent) -> str:
+    return _GRAPH_AT + (
+        f"G = graph_at({_at_expr(intent)})\n"
+        "result = sorted(str(node) for node in G.nodes() if G.degree(node) == 0)\n"
+    )
+
+
+def _emit_t_peak_traffic_time(intent: Intent) -> str:
+    key = intent.param("key", "bytes")
+    return (
+        "best_time = None\n"
+        "best_total = None\n"
+        "for snap in snapshots:\n"
+        f"    total = sum(data.get({key!r}, 0)\n"
+        "                for _, _, data in snap['graph'].edges(data=True))\n"
+        "    if best_total is None or total > best_total:\n"
+        "        best_time = snap['time']\n"
+        "        best_total = total\n"
+        "result = best_time\n"
+    )
+
+
+def _emit_t_failed_links_since(intent: Intent) -> str:
+    start, end = _window_exprs(intent)
+    return _GRAPH_AT + (
+        f"earlier = graph_at({start})\n"
+        f"later = graph_at({end})\n"
+        "later_pairs = set(later.edges())\n"
+        "result = sorted([str(u), str(v)] for u, v in earlier.edges()\n"
+        "                if (u, v) not in later_pairs)\n"
+    )
+
+
+def _emit_t_restored_links_since(intent: Intent) -> str:
+    start, end = _window_exprs(intent)
+    return _GRAPH_AT + (
+        f"earlier = graph_at({start})\n"
+        f"later = graph_at({end})\n"
+        "earlier_pairs = set(earlier.edges())\n"
+        "result = sorted([str(u), str(v)] for u, v in later.edges()\n"
+        "                if (u, v) not in earlier_pairs)\n"
+    )
+
+
+def _emit_t_churned_nodes_between(intent: Intent) -> str:
+    start, end = _window_exprs(intent)
+    return _GRAPH_AT + (
+        f"earlier = graph_at({start})\n"
+        f"later = graph_at({end})\n"
+        "result = {\n"
+        "    'departed': sorted(str(n) for n in earlier.nodes()\n"
+        "                       if not later.has_node(n)),\n"
+        "    'joined': sorted(str(n) for n in later.nodes()\n"
+        "                     if not earlier.has_node(n)),\n"
+        "}\n"
+    )
+
+
+def _emit_t_capacity_drop_at(intent: Intent) -> str:
+    attribute = intent.param("attribute", "capacity_gbps")
+    return _GRAPH_AT + (
+        f"baseline = sum(data.get({attribute!r}, 0)\n"
+        "               for _, _, data in snapshots[0]['graph'].edges(data=True))\n"
+        f"current = sum(data.get({attribute!r}, 0)\n"
+        f"              for _, _, data in graph_at({_at_expr(intent)}).edges(data=True))\n"
+        "result = round(baseline - current, 6)\n"
+    )
+
+
+def _emit_t_degraded_links_at(intent: Intent) -> str:
+    attribute = intent.param("attribute", "capacity_gbps")
+    return _GRAPH_AT + _LINK_DATA + (
+        "initial = snapshots[0]['graph']\n"
+        f"current = graph_at({_at_expr(intent)})\n"
+        "degraded = []\n"
+        "for u, v, data in current.edges(data=True):\n"
+        "    original = link_data(initial, u, v)\n"
+        "    if original is None:\n"
+        "        continue\n"
+        f"    before = original.get({attribute!r})\n"
+        f"    now = data.get({attribute!r})\n"
+        "    if before is not None and now is not None and now < before:\n"
+        "        degraded.append([str(u), str(v)])\n"
+        "result = sorted(degraded)\n"
+    )
+
+
+def _emit_t_traffic_change_between(intent: Intent) -> str:
+    key = intent.param("key", "bytes")
+    start, end = _window_exprs(intent)
+    return _GRAPH_AT + (
+        f"before = sum(data.get({key!r}, 0)\n"
+        f"             for _, _, data in graph_at({start}).edges(data=True))\n"
+        f"after = sum(data.get({key!r}, 0)\n"
+        f"            for _, _, data in graph_at({end}).edges(data=True))\n"
+        "result = round(after - before, 6)\n"
+    )
+
+
+def _emit_t_failed_srlgs_at(intent: Intent) -> str:
+    return _GRAPH_AT + _HAS_LINK + (
+        "srlgs = snapshots[0]['attributes'].get('srlgs', {})\n"
+        f"current = graph_at({_at_expr(intent)})\n"
+        "result = sorted(\n"
+        "    name for name, members in srlgs.items()\n"
+        "    if members and all(not has_link(current, source, target)\n"
+        "                       for source, target in members))\n"
+    )
+
+
+def _emit_t_srlg_links_down_at(intent: Intent) -> str:
+    group = intent.param("group")
+    return _GRAPH_AT + _HAS_LINK + (
+        f"members = snapshots[0]['attributes'].get('srlgs', {{}}).get({group!r}, [])\n"
+        f"current = graph_at({_at_expr(intent)})\n"
+        "result = sorted([str(source), str(target)] for source, target in members\n"
+        "                if not has_link(current, source, target))\n"
+    )
+
+
+def _emit_t_drained_links_between(intent: Intent) -> str:
+    start, end = _window_exprs(intent)
+    return _GRAPH_AT + _HAS_LINK + (
+        f"start = {start}\n"
+        f"end = {end}\n"
+        "earlier = graph_at(start)\n"
+        "later = graph_at(end)\n"
+        "drained = set()\n"
+        "for snap in snapshots:\n"
+        "    if not (start < snap['time'] < end):\n"
+        "        continue\n"
+        "    for u, v in earlier.edges():\n"
+        "        if has_link(later, u, v) and not has_link(snap['graph'], u, v):\n"
+        "            drained.add((str(u), str(v)))\n"
+        "result = sorted([u, v] for u, v in drained)\n"
+    )
+
+
+def _emit_t_drained_nodes_between(intent: Intent) -> str:
+    start, end = _window_exprs(intent)
+    return _GRAPH_AT + (
+        f"start = {start}\n"
+        f"end = {end}\n"
+        "earlier = graph_at(start)\n"
+        "later = graph_at(end)\n"
+        "drained = set()\n"
+        "for snap in snapshots:\n"
+        "    if not (start < snap['time'] < end):\n"
+        "        continue\n"
+        "    for node in earlier.nodes():\n"
+        "        if later.has_node(node) and not snap['graph'].has_node(node):\n"
+        "            drained.add(str(node))\n"
+        "result = sorted(drained)\n"
+    )
+
+
+_REGION_TOTALS = (
+    "def region_totals(G, key):\n"
+    "    totals = {}\n"
+    "    for u, v, data in G.edges(data=True):\n"
+    "        ru = G.nodes[u].get('region')\n"
+    "        rv = G.nodes[v].get('region')\n"
+    "        if ru is None or rv is None:\n"
+    "            continue\n"
+    "        bucket = ru if ru == rv else '-'.join(sorted((ru, rv)))\n"
+    "        totals[bucket] = totals.get(bucket, 0) + data.get(key, 0)\n"
+    "    return totals\n"
+)
+
+
+def _emit_t_region_traffic_between(intent: Intent) -> str:
+    key = intent.param("key", "bytes")
+    start, end = _window_exprs(intent)
+    return _GRAPH_AT + _REGION_TOTALS + (
+        f"before = region_totals(graph_at({start}), {key!r})\n"
+        f"after = region_totals(graph_at({end}), {key!r})\n"
+        "result = {bucket: round(after.get(bucket, 0) - before.get(bucket, 0), 6)\n"
+        "          for bucket in sorted(set(before) | set(after))}\n"
+    )
+
+
+def _emit_t_top_region_by_traffic_growth(intent: Intent) -> str:
+    return _emit_t_region_traffic_between(intent) + (
+        "deltas = result\n"
+        "result = None\n"
+        "if deltas:\n"
+        "    result = min(deltas, key=lambda bucket: (-deltas[bucket], bucket))\n"
+    )
+
+
+def _emit_t_entity_count_at(intent: Intent) -> str:
+    entity_type = intent.param("entity_type", "EK_PACKET_SWITCH")
+    return _GRAPH_AT + (
+        f"G = graph_at({_at_expr(intent)})\n"
+        "result = sum(1 for _, data in G.nodes(data=True)\n"
+        f"             if data.get('type') == {entity_type!r})\n"
+    )
+
+
+def _emit_t_entity_capacity_at(intent: Intent) -> str:
+    entity_type = intent.param("entity_type", "EK_PACKET_SWITCH")
+    return _GRAPH_AT + (
+        f"G = graph_at({_at_expr(intent)})\n"
+        "result = sum(data.get('capacity', 0) for _, data in G.nodes(data=True)\n"
+        f"             if data.get('type') == {entity_type!r})\n"
+    )
+
+
+def _emit_t_orphaned_ports_at(intent: Intent) -> str:
+    return _GRAPH_AT + (
+        f"G = graph_at({_at_expr(intent)})\n"
+        "orphaned = []\n"
+        "for node, data in G.nodes(data=True):\n"
+        "    if data.get('type') != 'EK_PORT':\n"
+        "        continue\n"
+        "    contained = any(\n"
+        "        G.edges[parent, node].get('relationship') == 'RK_CONTAINS'\n"
+        "        for parent in G.predecessors(node))\n"
+        "    if not contained:\n"
+        "        orphaned.append(str(node))\n"
+        "result = sorted(orphaned)\n"
+    )
+
+
+#: temporal intent name -> template over the serialized timeline namespace
+TEMPORAL_TEMPLATES: Dict[str, Callable[[Intent], str]] = {
+    "node_count_at": _emit_t_node_count_at,
+    "edge_count_at": _emit_t_edge_count_at,
+    "snapshot_count": _emit_t_snapshot_count,
+    "isolated_nodes_at": _emit_t_isolated_nodes_at,
+    "peak_traffic_time": _emit_t_peak_traffic_time,
+    "failed_links_since": _emit_t_failed_links_since,
+    "restored_links_since": _emit_t_restored_links_since,
+    "churned_nodes_between": _emit_t_churned_nodes_between,
+    "capacity_drop_at": _emit_t_capacity_drop_at,
+    "degraded_links_at": _emit_t_degraded_links_at,
+    "traffic_change_between": _emit_t_traffic_change_between,
+    "failed_srlgs_at": _emit_t_failed_srlgs_at,
+    "srlg_links_down_at": _emit_t_srlg_links_down_at,
+    "drained_links_between": _emit_t_drained_links_between,
+    "drained_nodes_between": _emit_t_drained_nodes_between,
+    "region_traffic_between": _emit_t_region_traffic_between,
+    "top_region_by_traffic_growth": _emit_t_top_region_by_traffic_growth,
+    "entity_count_at": _emit_t_entity_count_at,
+    "entity_capacity_at": _emit_t_entity_capacity_at,
+    "orphaned_ports_at": _emit_t_orphaned_ports_at,
+}
+
+
+def supported_temporal_intents() -> List[str]:
+    """Temporal intent names this emitter can generate code for."""
+    return sorted(TEMPORAL_TEMPLATES)
+
+
+def emit_temporal(intent: Intent) -> str:
+    """Render timeline-aware NetworkX code for a temporal *intent*."""
+    if intent.name not in TEMPORAL_TEMPLATES:
+        raise KeyError(
+            f"networkx emitter does not support temporal intent {intent.name!r}")
+    return TEMPORAL_TEMPLATES[intent.name](intent)

@@ -579,11 +579,12 @@ def _edge_pairs(edges) -> List[List[str]]:
 def _window_bounds(timeline: Any, intent: Intent) -> Tuple[float, float]:
     """The (start, end) times an interval intent references.
 
-    ``since``/``start`` anchor the window start (default: the first snapshot
-    time) and ``until``/``end`` the window end (default: the last).
+    Parameter precedence lives in :func:`repro.synthesis.intents.
+    temporal_window`; unbound ends default to the first/last snapshot time.
     """
-    start = intent.param("since", intent.param("start"))
-    end = intent.param("until", intent.param("end"))
+    from repro.synthesis.intents import temporal_window
+
+    start, end = temporal_window(intent)
     return (timeline.snapshots[0].time if start is None else float(start),
             timeline.snapshots[-1].time if end is None else float(end))
 
@@ -779,6 +780,45 @@ def _traffic_by_region(graph: PropertyGraph, key: str,
                   else "-".join(sorted((region_source, region_target))))
         totals[bucket] = totals.get(bucket, 0) + attrs.get(key, 0)
     return totals
+
+
+# ---------------------------------------------------------------------------
+# MALT lifecycle intents over timelines: drains, orphaned ports, capacity
+# ---------------------------------------------------------------------------
+@_register_temporal("entity_count_at")
+def _entity_count_at(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    """Entities of one MALT kind present at *at* (drained nodes excluded)."""
+    entity_type = intent.param("entity_type", _EK_PACKET_SWITCH)
+    graph = timeline.graph_at(float(intent.param("at", 0.0)))
+    count = sum(1 for _, attrs in graph.nodes(data=True)
+                if attrs.get("type") == entity_type)
+    return ReferenceOutcome(kind="value", value=count)
+
+
+@_register_temporal("entity_capacity_at")
+def _entity_capacity_at(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    """Total ``capacity`` of one MALT kind still racked at *at*."""
+    entity_type = intent.param("entity_type", _EK_PACKET_SWITCH)
+    graph = timeline.graph_at(float(intent.param("at", 0.0)))
+    total = sum(attrs.get("capacity", 0) for _, attrs in graph.nodes(data=True)
+                if attrs.get("type") == entity_type)
+    return ReferenceOutcome(kind="value", value=total)
+
+
+@_register_temporal("orphaned_ports_at")
+def _orphaned_ports_at(timeline: Any, intent: Intent) -> ReferenceOutcome:
+    """Ports at *at* with no containing parent (their switch is drained)."""
+    graph = timeline.graph_at(float(intent.param("at", 0.0)))
+    orphaned = []
+    for node, attrs in graph.nodes(data=True):
+        if attrs.get("type") != _EK_PORT:
+            continue
+        contained = any(
+            graph.edge_attributes(parent, node).get("relationship") == _RK_CONTAINS
+            for parent in graph.predecessors(node))
+        if not contained:
+            orphaned.append(str(node))
+    return ReferenceOutcome(kind="value", value=sorted(orphaned))
 
 
 @_register_temporal("region_traffic_between")

@@ -248,6 +248,52 @@ class TestCache:
         with pytest.raises(ValueError, match="at least 1"):
             ResultCache(tmp_path / "cache", max_entries=0)
 
+    def test_hit_survives_entry_vanishing_before_recency_refresh(
+            self, tmp_path, monkeypatch):
+        # regression: a concurrent evictor can unlink the entry between the
+        # successful pickle load and the os.utime recency refresh; the raised
+        # OSError must not crash the hit path, and the hit must still count
+        import os
+
+        cache = ResultCache(tmp_path / "cache")
+        task = Task(key="cell", fn="repro.exec.demo:square", payload={"x": 6})
+        run_tasks(TaskSet(name="one", tasks=[task]), cache=cache)
+
+        def vanished(*args, **kwargs):
+            raise OSError("entry evicted concurrently")
+
+        monkeypatch.setattr(os, "utime", vanished)
+        hit, value = cache.get(task.digest())
+        assert hit and value == 36
+        assert cache.hits == 1
+
+    def test_eviction_tie_break_honours_store_order_not_path(self, tmp_path):
+        # regression: on 1s-granularity filesystems a burst of stores ties on
+        # mtime and a path tie-break made eviction effectively alphabetical;
+        # the store sequence stamped into each entry must win instead
+        import os
+
+        cache = ResultCache(tmp_path / "cache", max_entries=2)
+        # store order deliberately anti-alphabetical: the digest of 'first'
+        # sorts *after* the digest of 'second' in the cache directory
+        first = Task(key="zz-first", fn="repro.exec.demo:square", payload={"x": 2})
+        second = Task(key="aa-second", fn="repro.exec.demo:square", payload={"x": 3})
+        ordered = sorted([first, second],
+                         key=lambda task: str(cache.entry_path(task.digest())))
+        first, second = ordered[-1], ordered[0]
+        run_tasks(TaskSet(name="one", tasks=[first]), cache=cache)
+        run_tasks(TaskSet(name="one", tasks=[second]), cache=cache)
+        # collapse both entries onto one timestamp granule
+        for task in (first, second):
+            os.utime(cache.entry_path(task.digest()), ns=(1_000_000_000,
+                                                          1_000_000_000))
+        newcomer = Task(key="mm-third", fn="repro.exec.demo:square", payload={"x": 4})
+        run_tasks(TaskSet(name="one", tasks=[newcomer]), cache=cache)
+        assert len(cache) == 2
+        assert not cache.get(first.digest())[0]   # oldest store: evicted
+        assert cache.get(second.digest())[0]      # newer store: survives
+        assert cache.get(newcomer.digest())[0]
+
 
 # ---------------------------------------------------------------------------
 # failure surfacing

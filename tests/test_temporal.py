@@ -209,19 +209,22 @@ class TestTemporalCells:
             config.to_payload(), spec.to_dict(), "tq-m1", "gpt-4").digest()
         record = run_temporal_cell(task.payload)
         assert record.query_id == "tq-m1"
-        assert record.backend == "timeline"
+        assert record.backend == "direct"
         assert record.details["scenario"] == "fat-tree-failover"
         assert record.details["anchor_time"] == 2.0
         assert record.details["snapshot_digest"]
 
     def test_correct_and_faulty_answers_are_calibrated(self):
         config = BenchmarkConfig()
-        spec = get_scenario("manet-churn")
-        # gpt-4's networkx hard reliability passes rank 2; gpt-3's does not
+        # the direct path calibrates against the strawman column: gpt-4's
+        # easy strawman reliability passes rank 0, but its hard strawman
+        # reliability is zero, so every hard direct cell fails
         passing = run_temporal_cell(temporal_cell_task(
-            config.to_payload(), spec.to_dict(), "tq-h3", "gpt-4").payload)
+            config.to_payload(), get_scenario("fat-tree-failover").to_dict(),
+            "tq-e1", "gpt-4").payload)
         failing = run_temporal_cell(temporal_cell_task(
-            config.to_payload(), spec.to_dict(), "tq-h3", "gpt-3").payload)
+            config.to_payload(), get_scenario("manet-churn").to_dict(),
+            "tq-h3", "gpt-4").payload)
         assert passing.passed and passing.details["intended_correct"]
         assert not failing.details["intended_correct"]
         assert not failing.passed
