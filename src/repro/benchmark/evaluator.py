@@ -47,6 +47,10 @@ class EvaluationRecord:
     completion_tokens: int = 0
     generated_code: str = ""
     details: Dict[str, Any] = field(default_factory=dict)
+    #: whether this record was served from the fabric's result cache rather
+    #: than recomputed — telemetry threaded in by the runner after dispatch,
+    #: never part of the cached entry itself or of any accuracy table
+    cached: bool = False
 
 
 # ---------------------------------------------------------------------------

@@ -9,13 +9,22 @@ breakdown and their improvement case study.
 from __future__ import annotations
 
 import json
+import logging
+import math
 from collections import Counter
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.benchmark.errors import classify_error
 from repro.benchmark.evaluator import EvaluationRecord
 from repro.utils.tables import format_table
+
+logger = logging.getLogger(__name__)
+
+
+def accuracy_cell(value: float) -> Union[float, str]:
+    """Render helper: an accuracy value, or ``n/a`` for no-data (NaN)."""
+    return "n/a" if isinstance(value, float) and math.isnan(value) else value
 
 
 class ResultsLogger:
@@ -60,10 +69,16 @@ class ResultsLogger:
         return list(selected)
 
     def accuracy(self, **filters) -> float:
-        """Fraction of matching records that passed (0.0 when none match)."""
+        """Fraction of matching records that passed.
+
+        An empty filter match returns ``nan`` — "no data" must stay
+        distinguishable from "every matching record failed" (0.0), otherwise
+        a filter typo reads as a catastrophic regression.  Renderers print
+        NaN cells as ``n/a`` (see :func:`accuracy_cell`).
+        """
         selected = self.filtered(**filters)
         if not selected:
-            return 0.0
+            return float("nan")
         return sum(1 for record in selected if record.passed) / len(selected)
 
     def error_type_counts(self, **filters) -> Dict[str, int]:
@@ -95,6 +110,7 @@ class ResultsLogger:
                 "prompt_tokens": record.prompt_tokens,
                 "completion_tokens": record.completion_tokens,
                 "generated_code": record.generated_code,
+                "cached": record.cached,
             })
         return dumped
 
@@ -112,6 +128,6 @@ class ResultsLogger:
             selected = self.filtered(model=model, backend=backend)
             passed = sum(1 for record in selected if record.passed)
             rows.append([model, backend, f"{passed}/{len(selected)}",
-                         self.accuracy(model=model, backend=backend)])
+                         accuracy_cell(self.accuracy(model=model, backend=backend))])
         return format_table(["model", "backend", "passed", "accuracy"], rows,
                             title="Benchmark results")

@@ -29,6 +29,7 @@ from repro.exec import ExecutionOptions, RunReport, TaskSet, run_with_options
 from repro.llm.calibration import CalibrationTable
 from repro.llm.catalog import DEFAULT_MODELS, create_provider
 from repro.malt import MaltApplication, MaltTopologyConfig
+from repro.obs import span
 from repro.traffic import CommunicationGraphConfig, TrafficAnalysisApplication
 from repro.utils.tables import format_table
 from repro.utils.validation import require
@@ -155,10 +156,13 @@ class AccuracyReport:
 
     # ------------------------------------------------------------------
     def render_summary(self) -> str:
+        from repro.benchmark.logger import accuracy_cell
+
         rows = []
         summary = self.summary()
         for model in self.models:
-            rows.append([model] + [summary[model][backend] for backend in self.backends])
+            rows.append([model] + [accuracy_cell(summary[model][backend])
+                                   for backend in self.backends])
         return format_table(["model"] + list(self.backends), rows,
                             title=f"Accuracy summary — {self.application}")
 
@@ -321,24 +325,37 @@ class BenchmarkRunner:
     # ------------------------------------------------------------------
     def _dispatch(self, task_set: TaskSet) -> List[EvaluationRecord]:
         """Run a task set through the fabric; cell failures raise loudly."""
-        run_report = run_with_options(task_set, self.execution)
+        with span("benchmark.dispatch", attrs={"task_set": task_set.name,
+                                               "tasks": len(task_set)}):
+            run_report = run_with_options(task_set, self.execution)
         self.last_run_report = run_report
-        return run_report.values()  # raises TaskExecutionError on any failure
+        records = run_report.values()  # raises TaskExecutionError on any failure
+        # thread cache provenance into the records so saved result logs can
+        # report cache effectiveness; the flag is telemetry — it is set
+        # *after* fresh results were persisted, so cached entries themselves
+        # never carry it and rendered tables never read it
+        for result, record in zip(run_report.results, records):
+            if isinstance(record, EvaluationRecord):
+                record.cached = result.cached
+        return records
 
     # ------------------------------------------------------------------
     def run_query(self, application: NetworkApplication, query: BenchmarkQuery,
                   model: str, backend: str, attempt: int = 0,
                   feedback: Optional[str] = None) -> EvaluationRecord:
         """Run one (query, model, backend) cell and evaluate it."""
-        provider = create_provider(model, calibration=self.config.calibration)
-        pipeline = NetworkManagementPipeline(application, provider, backend)
-        metadata = query.metadata(bucket_size(query.application, query.complexity))
-        request = QueryRequest(query=query.text, backend=backend, metadata=metadata,
-                               attempt=attempt, feedback=feedback)
-        pipeline_result = pipeline.run(request)
-        golden = self.goldens.golden_for(query, application.graph)
-        return self.evaluator.evaluate(query, model, pipeline_result, golden,
-                                       application.graph)
+        with span("benchmark.cell", attrs={"query": query.query_id,
+                                           "model": model, "backend": backend}):
+            provider = create_provider(model, calibration=self.config.calibration)
+            pipeline = NetworkManagementPipeline(application, provider, backend)
+            metadata = query.metadata(bucket_size(query.application, query.complexity))
+            request = QueryRequest(query=query.text, backend=backend, metadata=metadata,
+                                   attempt=attempt, feedback=feedback)
+            pipeline_result = pipeline.run(request)
+            with span("benchmark.evaluate", attrs={"query": query.query_id}):
+                golden = self.goldens.golden_for(query, application.graph)
+                return self.evaluator.evaluate(query, model, pipeline_result, golden,
+                                               application.graph)
 
     # ------------------------------------------------------------------
     def run_application(self, application_name: str,
@@ -351,22 +368,24 @@ class BenchmarkRunner:
         report = AccuracyReport(application=application_name, backends=list(backends),
                                 models=models)
 
-        config_payload = self.config.to_payload()
-        task_set = TaskSet(name=f"benchmark/{application_name}")
-        for backend in backends:
-            # the paper only runs the strawman's shrunken graph on traffic
-            # analysis; a MALT strawman sweep keeps the full MALT state
-            if backend == "strawman" and application_name == "traffic_analysis":
-                app_context = {"kind": "strawman"}
-            else:
-                app_context = {"kind": "generated", "application": application_name}
-            for query in queries_for(application_name):
-                for model in models:
-                    task_set.add(benchmark_cell_task(
-                        application_name, config_payload, app_context,
-                        backend, query.query_id, model))
-        for record in self._dispatch(task_set):
-            report.logger.log(record)
+        with span("benchmark.suite", attrs={"application": application_name,
+                                            "models": len(models)}):
+            config_payload = self.config.to_payload()
+            task_set = TaskSet(name=f"benchmark/{application_name}")
+            for backend in backends:
+                # the paper only runs the strawman's shrunken graph on traffic
+                # analysis; a MALT strawman sweep keeps the full MALT state
+                if backend == "strawman" and application_name == "traffic_analysis":
+                    app_context = {"kind": "strawman"}
+                else:
+                    app_context = {"kind": "generated", "application": application_name}
+                for query in queries_for(application_name):
+                    for model in models:
+                        task_set.add(benchmark_cell_task(
+                            application_name, config_payload, app_context,
+                            backend, query.query_id, model))
+            for record in self._dispatch(task_set):
+                report.logger.log(record)
         return report
 
     def run_all(self) -> Dict[str, AccuracyReport]:
@@ -488,24 +507,26 @@ class BenchmarkRunner:
         report = TemporalAccuracyReport(scenarios=scenarios, models=models,
                                         backends=backends)
 
-        config_payload = self.config.to_payload()
-        task_set = TaskSet(name="benchmark/temporal")
-        for scenario in scenarios:
-            spec = get_scenario(scenario)
-            queries = temporal_queries_for(scenario)
-            require(bool(queries),
-                    f"no temporal queries target scenario {scenario!r}; "
-                    f"temporal scenarios: {temporal_scenario_names()}")
-            timeline = replay_scenario(spec)
-            report.snapshots[scenario] = [
-                (snapshot.time, snapshot.digest) for snapshot in timeline.snapshots]
-            spec_dict = spec.to_dict()
-            for query in queries:
-                for model in models:
-                    for backend in backends:
-                        task_set.add(temporal_cell_task(
-                            config_payload, spec_dict, query.query_id, model,
-                            backend))
-        for record in self._dispatch(task_set):
-            report.logger.log(record)
+        with span("benchmark.suite", attrs={"kind": "temporal",
+                                            "scenarios": len(scenarios)}):
+            config_payload = self.config.to_payload()
+            task_set = TaskSet(name="benchmark/temporal")
+            for scenario in scenarios:
+                spec = get_scenario(scenario)
+                queries = temporal_queries_for(scenario)
+                require(bool(queries),
+                        f"no temporal queries target scenario {scenario!r}; "
+                        f"temporal scenarios: {temporal_scenario_names()}")
+                timeline = replay_scenario(spec)
+                report.snapshots[scenario] = [
+                    (snapshot.time, snapshot.digest) for snapshot in timeline.snapshots]
+                spec_dict = spec.to_dict()
+                for query in queries:
+                    for model in models:
+                        for backend in backends:
+                            task_set.add(temporal_cell_task(
+                                config_payload, spec_dict, query.query_id, model,
+                                backend))
+            for record in self._dispatch(task_set):
+                report.logger.log(record)
         return report

@@ -22,6 +22,7 @@ from typing import Any, Dict
 from repro.benchmark.queries import query_by_id, temporal_query_by_id
 from repro.exec.task import Task
 from repro.exec.workers import worker_context
+from repro.obs import span
 from repro.utils.hashing import stable_hash
 
 #: dotted-path reference resolved inside worker processes
@@ -246,7 +247,8 @@ def run_temporal_cell(payload: Dict[str, Any]):
 
     query = temporal_query_by_id(payload["query_id"])
     model = payload["model"]
-    golden = selector.golden_for(query, timeline)
+    with span("benchmark.golden", attrs={"query": query.query_id}):
+        golden = selector.golden_for(query, timeline)
 
     calibration = DEFAULT_CALIBRATION
     if payload["config"].get("calibration") is not None:
@@ -271,8 +273,10 @@ def run_temporal_cell(payload: Dict[str, Any]):
     if backend == "direct":
         answer = (golden.value if intended_correct
                   else _stale_answer(timeline, query, golden.value))
-        return evaluator.evaluate_temporal(query, model, answer, golden,
-                                           details=details, backend=backend)
+        with span("benchmark.evaluate", attrs={"query": query.query_id,
+                                               "backend": backend}):
+            return evaluator.evaluate_temporal(query, model, answer, golden,
+                                               details=details, backend=backend)
 
     # codegen backends: emit, sandbox-execute, evaluate.  The serialized
     # timeline is parsed once per process (graphs treated as immutable);
@@ -294,14 +298,16 @@ def run_temporal_cell(payload: Dict[str, Any]):
         details["fault"] = fault_label
 
     outcome = run_temporal_program(code, parsed_timeline, backend)
-    if outcome.failed:
+    with span("benchmark.evaluate", attrs={"query": query.query_id,
+                                           "backend": backend}):
+        if outcome.failed:
+            return evaluator.evaluate_temporal(
+                query, model, None, golden, details=details, backend=backend,
+                generated_code=code,
+                execution_error=(outcome.error_type, outcome.error_message))
         return evaluator.evaluate_temporal(
-            query, model, None, golden, details=details, backend=backend,
-            generated_code=code,
-            execution_error=(outcome.error_type, outcome.error_message))
-    return evaluator.evaluate_temporal(
-        query, model, outcome.result, golden, details=details,
-        backend=backend, generated_code=code)
+            query, model, outcome.result, golden, details=details,
+            backend=backend, generated_code=code)
 
 
 def run_benchmark_cell(payload: Dict[str, Any]):

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
+import os
 import sys
 from typing import List, Optional
 
@@ -29,10 +31,33 @@ from repro.exec import DEFAULT_CACHE_DIR, ExecutionOptions, ResultCache
 from repro.llm import available_models, create_provider
 from repro.llm.calibration import TEMPORAL_BACKENDS
 from repro.malt import MaltApplication
+from repro.obs import enable_tracing, write_metrics, write_trace
 from repro.techniques import ImprovementCaseStudy
 from repro.traffic import TrafficAnalysisApplication
 from repro.utils.tables import format_table
 from repro.utils.validation import ValidationError, require
+
+logger = logging.getLogger(__name__)
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _configure_logging(level_name: str) -> None:
+    """Route diagnostics through :mod:`logging` to stderr.
+
+    Tables, JSON specs, and results stay on stdout; everything narrating the
+    run (fabric telemetry, "wrote X to Y" notes, debug detail) goes through
+    loggers so ``repro-nemo ... > out.txt`` captures only the data.
+    """
+    level = getattr(logging, level_name.upper(), None)
+    if not isinstance(level, int):
+        # an unknown $REPRO_LOG_LEVEL must not take the CLI down
+        level = logging.INFO
+    # force= rebinds the handler to the *current* sys.stderr, so repeated
+    # main() calls (tests, embedding) follow stream redirection correctly
+    logging.basicConfig(
+        level=level, stream=sys.stderr, force=True,
+        format="%(levelname)s %(name)s: %(message)s")
 
 
 def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
@@ -67,13 +92,42 @@ def _execution_options(args: argparse.Namespace) -> ExecutionOptions:
     return ExecutionOptions(jobs=args.jobs, cache=cache)
 
 
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared tracing/metrics knobs of the sweep commands."""
+    group = parser.add_argument_group("observability")
+    group.add_argument("--trace", dest="trace_path", default=None, metavar="OUT.json",
+                       help="write a Chrome trace-event file of the sweep "
+                            "(load it at chrome://tracing or ui.perfetto.dev); "
+                            "spans from every worker process are merged")
+    group.add_argument("--metrics-out", dest="metrics_path", default=None,
+                       metavar="OUT.json",
+                       help="write the metrics snapshot (counters, gauges, "
+                            "latency histograms with p50/p95/p99) as JSON")
+
+
+def _start_observability(args: argparse.Namespace) -> None:
+    if getattr(args, "trace_path", None):
+        enable_tracing()
+
+
+def _finish_observability(args: argparse.Namespace) -> None:
+    """Export whatever the sweep recorded; runs even if the sweep failed.
+
+    The writers log the destination themselves at INFO level.
+    """
+    if getattr(args, "trace_path", None):
+        write_trace(args.trace_path)
+    if getattr(args, "metrics_path", None):
+        write_metrics(args.metrics_path)
+
+
 def _print_fabric(run_report) -> None:
     """One telemetry line for the sweep's most recent fabric dispatch."""
     if run_report is None:
         return
-    print(f"# fabric: {len(run_report.results)} cells, jobs={run_report.jobs}, "
-          f"cache hits {run_report.cache_hits}/{len(run_report.results)}, "
-          f"wall {run_report.wall_time_s:.2f}s")
+    logger.info("fabric: %d cells, jobs=%d, cache hits %d/%d, wall %.2fs",
+                len(run_report.results), run_report.jobs, run_report.cache_hits,
+                len(run_report.results), run_report.wall_time_s)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,6 +138,10 @@ def build_parser() -> argparse.ArgumentParser:
                     "(HotNets 2023 reproduction).")
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {__version__}")
+    parser.add_argument("--log-level", choices=LOG_LEVELS,
+                        default=os.environ.get("REPRO_LOG_LEVEL", "info").lower(),
+                        help="diagnostic verbosity on stderr (default: "
+                             "$REPRO_LOG_LEVEL or info)")
     subparsers = parser.add_subparsers(dest="command")
 
     ask = subparsers.add_parser("ask", help="answer one natural-language query")
@@ -116,12 +174,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", dest="json_path", default=None,
                        help="write the full result log to this JSON file")
     _add_execution_arguments(bench)
+    _add_observability_arguments(bench)
 
     cost = subparsers.add_parser("cost", help="run the cost/scalability analysis")
     cost.add_argument("--model", choices=available_models(), default="gpt-4")
     cost.add_argument("--sizes", nargs="*", type=int,
                       default=[40, 80, 120, 160, 200, 300, 400])
     _add_execution_arguments(cost)
+    _add_observability_arguments(cost)
 
     improve = subparsers.add_parser("improve", help="run the pass@k / self-debug case study")
     improve.add_argument("--model", choices=available_models(), default="bard")
@@ -214,7 +274,7 @@ def _cmd_benchmark(args: argparse.Namespace) -> int:
         print()
         if args.json_path:
             report.logger.save(args.json_path)
-            print(f"wrote result log to {args.json_path}")
+            logger.info("wrote result log to %s", args.json_path)
     return 0
 
 
@@ -237,7 +297,7 @@ def _cmd_benchmark_temporal(args: argparse.Namespace) -> int:
     print(report.render_snapshot_tables())
     if args.json_path:
         report.logger.save(args.json_path)
-        print(f"\nwrote result log to {args.json_path}")
+        logger.info("wrote result log to %s", args.json_path)
     return 0
 
 
@@ -403,7 +463,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         if args.json_path:
             with open(args.json_path, "w", encoding="utf-8") as handle:
                 handle.write(graph_to_json(graph, indent=2) + "\n")
-            print(f"wrote graph to {args.json_path}")
+            logger.info("wrote graph to %s", args.json_path)
         return 0
 
     print("usage: repro-nemo scenarios {list,describe,generate,lock} ...")
@@ -425,11 +485,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
+    _configure_logging(args.log_level)
+    _start_observability(args)
     try:
         return handlers[args.command](args)
     except (ValidationError, FileNotFoundError, json.JSONDecodeError) as error:
+        # user-facing failure verdict, not a diagnostic — always printed,
+        # independent of the configured log level
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        # a failed sweep still exports what it recorded — a trace that ends
+        # at the failing span is exactly what you want to look at
+        _finish_observability(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

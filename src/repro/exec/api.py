@@ -9,6 +9,7 @@ needs cross-process coordination.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 from typing import Optional, Union
@@ -18,6 +19,9 @@ from repro.exec.executors import ParallelExecutor, SerialExecutor
 from repro.exec.report import RunReport, TaskResult
 from repro.exec.task import TaskSet
 from repro.exec.workers import clear_worker_contexts
+from repro.obs import ingest_observations, span
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -60,44 +64,61 @@ def run_tasks(task_set: TaskSet,
     result_cache = resolve_cache(cache)
     started = time.perf_counter()
 
-    results = {}
-    pending = []
-    if result_cache is not None:
-        for task in task_set:
-            hit, value = result_cache.get(task.digest())
-            if hit:
-                results[task.key] = TaskResult(key=task.key, value=value, cached=True)
-            else:
-                pending.append(task)
-    else:
-        pending = list(task_set)
+    dispatch_attrs = {"task_set": task_set.name, "tasks": len(task_set),
+                      "jobs": getattr(executor, "jobs", jobs)}
+    with span("exec.run_tasks", attrs=dispatch_attrs):
+        results = {}
+        pending = []
+        if result_cache is not None:
+            with span("cache.lookup", attrs={"tasks": len(task_set)}):
+                for task in task_set:
+                    hit, value = result_cache.get(task.digest())
+                    if hit:
+                        results[task.key] = TaskResult(key=task.key, value=value,
+                                                       cached=True)
+                    else:
+                        pending.append(task)
+        else:
+            pending = list(task_set)
+        dispatch_attrs["cache_hits"] = len(task_set) - len(pending)
 
-    try:
-        for raw in executor.execute(pending):
-            result = TaskResult(key=raw["key"], value=raw["value"], error=raw["error"],
-                                duration_s=raw["duration_s"])
-            results[result.key] = result
-    finally:
-        if isinstance(executor, SerialExecutor):
-            # serial execution memoizes worker contexts (rebuilt applications)
-            # in *this* process; drop them so long-lived sessions don't
-            # accumulate one graph per swept configuration.  Pool workers
-            # die with their pool, so the parallel path needs no cleanup.
-            clear_worker_contexts()
+        try:
+            for raw in executor.execute(pending):
+                # telemetry captured by pool children rides next to the
+                # result; merge it into the parent's tracer/registry and
+                # drop it before the result value is seen by any consumer
+                ingest_observations(raw.get("obs"))
+                result = TaskResult(key=raw["key"], value=raw["value"],
+                                    error=raw["error"],
+                                    duration_s=raw["duration_s"])
+                results[result.key] = result
+        finally:
+            if isinstance(executor, SerialExecutor):
+                # serial execution memoizes worker contexts (rebuilt
+                # applications) in *this* process; drop them so long-lived
+                # sessions don't accumulate one graph per swept
+                # configuration.  Pool workers die with their pool, so the
+                # parallel path needs no cleanup.
+                clear_worker_contexts()
 
-    if result_cache is not None:
-        fresh_by_key = {task.key: task for task in pending}
-        for key, task in fresh_by_key.items():
-            result = results[key]
-            if result.ok:
-                result_cache.put(task.digest(), key, result.value)
+        if result_cache is not None:
+            fresh_by_key = {task.key: task for task in pending}
+            with span("cache.store", attrs={"tasks": len(fresh_by_key)}):
+                for key, task in fresh_by_key.items():
+                    result = results[key]
+                    if result.ok:
+                        result_cache.put(task.digest(), key, result.value)
 
-    return RunReport(
+    report = RunReport(
         task_set=task_set.name,
         jobs=getattr(executor, "jobs", jobs),
         results=[results[task.key] for task in task_set],
         wall_time_s=time.perf_counter() - started,
     )
+    logger.debug("run_tasks %s: %d tasks, %d cache hits, %d failed, %.3fs",
+                 report.task_set, len(report.results), report.cache_hits,
+                 len(report.failures()), report.wall_time_s)
+    return report
 
 
 def run_with_options(task_set: TaskSet,

@@ -20,12 +20,17 @@ many differing configurations stops growing without bound.
 from __future__ import annotations
 
 import itertools
+import logging
 import os
 import pickle
 import tempfile
 import time
 from pathlib import Path
 from typing import Any, Iterator, Optional, Tuple
+
+from repro.obs import default_registry
+
+logger = logging.getLogger(__name__)
 
 
 #: default cache location (repo-local, covered by .gitignore)
@@ -76,8 +81,10 @@ class ResultCache:
             # missing, torn, or unreadable entries — including entries whose
             # result class has since moved or been renamed — are all misses
             self.misses += 1
+            default_registry().counter("cache.misses").inc()
             return False, None
         self.hits += 1
+        default_registry().counter("cache.hits").inc()
         try:
             os.utime(path)  # refresh recency so LRU eviction spares hot entries
         except OSError:
@@ -108,6 +115,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        default_registry().counter("cache.stores").inc()
         if self.max_entries is None:
             return
         if self._approx_count is None:
@@ -179,6 +187,11 @@ class ResultCache:
             except OSError:
                 pass
         self._approx_count = len(entries) - removed
+        if removed:
+            default_registry().counter("cache.evictions").inc(removed)
+            logger.debug("evicted %d cache entr%s from %s (bound %d)",
+                         removed, "y" if removed == 1 else "ies", self.root,
+                         self.max_entries)
         return removed
 
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.exec.task import Task
 from repro.exec.workers import run_chunk, run_task  # noqa: F401 - run_task is pool-submitted
+from repro.obs import tracing_enabled
 from repro.utils.validation import require
 
 
@@ -89,6 +90,20 @@ class ParallelExecutor:
         self.start_method = start_method
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _to_wire(task: Task) -> Dict[str, Any]:
+        """Wire form plus the out-of-band observability marker.
+
+        The marker rides *next to* the payload, never inside it — task
+        digests (and therefore cache keys) hash only key/fn/payload, so
+        enabling tracing cannot change what is (or was) cached.  Pool
+        children capture their spans and metric deltas per task and the
+        parent merges them back into one trace.
+        """
+        wire = task.to_wire()
+        wire["obs"] = {"trace": tracing_enabled()}
+        return wire
+
     def execute(self, tasks: Sequence[Task]) -> List[Dict[str, Any]]:
         if not tasks:
             return []
@@ -99,7 +114,7 @@ class ParallelExecutor:
         suspects: List[Task] = []
         pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=context)
         try:
-            pending = {pool.submit(run_chunk, [task.to_wire() for task in chunk]): chunk
+            pending = {pool.submit(run_chunk, [self._to_wire(task) for task in chunk]): chunk
                        for chunk in chunks}
             while pending:
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
@@ -136,7 +151,7 @@ class ParallelExecutor:
                 if pool is None:
                     pool = ProcessPoolExecutor(max_workers=1, mp_context=context)
                 try:
-                    results.append(pool.submit(run_task, task.to_wire()).result())
+                    results.append(pool.submit(run_task, self._to_wire(task)).result())
                 except BaseException as error:  # noqa: BLE001 - crash, not raise
                     if isinstance(error, KeyboardInterrupt):
                         raise

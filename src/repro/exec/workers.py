@@ -28,6 +28,8 @@ import time
 import traceback
 from typing import Any, Callable, Dict, List, Tuple
 
+from repro.obs import collect_observations, span
+
 
 def resolve_worker(reference: str) -> Callable[[Dict[str, Any]], Any]:
     """Import and return the worker named by a ``module:function`` reference."""
@@ -71,16 +73,35 @@ def clear_worker_contexts() -> None:
 # task execution
 # ---------------------------------------------------------------------------
 def run_task(wire_task: Dict[str, Any]) -> Dict[str, Any]:
-    """Execute one wire-form task, capturing failure and timing.
+    """Execute one wire-form task, capturing failure, timing, and telemetry.
 
     Returns a plain dict (never raises): ``{"key", "ok", "value", "error",
     "duration_s"}``.  ``value`` is only meaningful when ``ok`` is true.
+
+    When the wire form carries an ``obs`` marker (set by the parallel
+    executor for pool children), the task runs under an isolated
+    observability capture and its spans/metric deltas ride back to the
+    parent in an extra ``obs`` result field — *never* inside ``value``, so
+    telemetry cannot perturb results, digests, or cached entries.
     """
+    observe = wire_task.get("obs")
+    if observe is None:
+        # in-process execution: spans and metrics land directly in this
+        # process's (the parent's) tracer and registry
+        return _execute_wire_task(wire_task)
+    with collect_observations(trace=bool(observe.get("trace"))) as capture:
+        raw = _execute_wire_task(wire_task)
+    raw["obs"] = capture.to_wire()
+    return raw
+
+
+def _execute_wire_task(wire_task: Dict[str, Any]) -> Dict[str, Any]:
     key = wire_task["key"]
     started = time.perf_counter()
     try:
-        worker = resolve_worker(wire_task["fn"])
-        value = worker(wire_task["payload"])
+        with span("exec.task", attrs={"key": key}):
+            worker = resolve_worker(wire_task["fn"])
+            value = worker(wire_task["payload"])
         return {"key": key, "ok": True, "value": value, "error": None,
                 "duration_s": time.perf_counter() - started}
     except BaseException as error:  # noqa: BLE001 - a sweep must survive any cell

@@ -1,0 +1,107 @@
+"""Exporters: Chrome trace-event JSON and metrics snapshot JSON.
+
+The trace dump follows the Trace Event Format's ``X`` (complete) events and
+loads directly in ``chrome://tracing`` and Perfetto.  Every recording
+process becomes its own ``pid`` row (named via ``process_name`` metadata
+events), so a ``--jobs N`` sweep renders as N worker lanes under the parent.
+
+Timestamps: within a process, event ``ts`` derives from the span's monotonic
+start; across processes, the per-process wall-clock anchor (captured once at
+tracer creation) aligns the lanes.  The whole trace is re-based so the
+earliest event sits at ``ts = 0``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.trace import Span, get_tracer
+
+logger = logging.getLogger(__name__)
+
+#: the parent process's row label in the exported trace
+MAIN_PROCESS_LABEL = "main"
+
+TRACE_CATEGORY = "repro"
+
+
+def spans_to_trace_events(spans: List[Span]) -> List[Dict[str, Any]]:
+    """Convert closed spans into Chrome trace-event dicts."""
+    if not spans:
+        return []
+    process_labels: List[str] = []
+    for span in spans:
+        label = span.attrs.get("process", MAIN_PROCESS_LABEL)
+        if label not in process_labels:
+            process_labels.append(label)
+    # the parent renders first; worker lanes follow in first-seen order
+    process_labels.sort(key=lambda label: (label != MAIN_PROCESS_LABEL, label))
+    pids = {label: index + 1 for index, label in enumerate(process_labels)}
+
+    base_wall = min(span.start_wall for span in spans)
+    events: List[Dict[str, Any]] = []
+    for label, pid in sorted(pids.items(), key=lambda item: item[1]):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+    for span in spans:
+        label = span.attrs.get("process", MAIN_PROCESS_LABEL)
+        args = {key: value for key, value in span.attrs.items() if key != "process"}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append({
+            "name": span.name,
+            "cat": TRACE_CATEGORY,
+            "ph": "X",
+            "ts": round((span.start_wall - base_wall) * 1e6, 3),
+            "dur": round(span.duration_s * 1e6, 3),
+            "pid": pids[label],
+            "tid": span.thread_id,
+            "args": args,
+        })
+    return events
+
+
+def trace_document(spans: Optional[List[Span]] = None) -> Dict[str, Any]:
+    """The full Chrome-loadable trace document for *spans* (default: tracer's)."""
+    if spans is None:
+        spans = get_tracer().spans
+    return {
+        "traceEvents": spans_to_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "span_count": len(spans)},
+    }
+
+
+def write_trace(path, spans: Optional[List[Span]] = None) -> Path:
+    """Write the trace document as JSON; returns the written path."""
+    path = Path(path)
+    document = trace_document(spans)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    logger.info("wrote %d trace events to %s",
+                len(document["traceEvents"]), path)
+    return path
+
+
+def metrics_document(registry: Optional[MetricsRegistry] = None) -> Dict[str, Any]:
+    """The metrics snapshot document for *registry* (default: process default)."""
+    registry = registry if registry is not None else default_registry()
+    return {"format": "repro.obs.metrics/1", **registry.snapshot()}
+
+
+def write_metrics(path, registry: Optional[MetricsRegistry] = None) -> Path:
+    """Write the metrics snapshot as JSON; returns the written path."""
+    path = Path(path)
+    document = metrics_document(registry)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    logger.info("wrote metrics snapshot (%d counters, %d histograms) to %s",
+                len(document["counters"]), len(document["histograms"]), path)
+    return path

@@ -1,0 +1,276 @@
+"""The metrics registry: named counters, gauges, and streaming histograms.
+
+Metrics are *telemetry*: they accumulate observations about where a run
+spends its time and how its caches behave, and they must never influence any
+computed result — the inertness contract of :mod:`repro.obs` (metric state
+is excluded from task digests, cache keys, and every rendered table).
+
+Histograms are **streaming**: observations land in fixed log-spaced buckets
+(:data:`BUCKETS_PER_DECADE` per factor of ten), so p50/p95/p99 quantiles are
+available without storing individual samples.  The quantile error is bounded
+by one bucket's width — a relative error of ``10 ** (1 / BUCKETS_PER_DECADE)
+- 1`` (~12%), plenty for latency triage — while exact ``count``, ``sum``,
+``min`` and ``max`` are tracked alongside.
+
+Every metric type can :meth:`snapshot` itself into plain JSON data and can
+``merge`` a snapshot back in, which is how worker processes ship their
+per-task metric deltas to the parent through the execution fabric.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import threading
+from typing import Any, Dict, Optional
+
+logger = logging.getLogger(__name__)
+
+#: log-spaced bucket resolution: buckets per factor of ten.  20 buckets per
+#: decade bounds the quantile estimate's relative error at ~12%.
+BUCKETS_PER_DECADE = 20
+
+#: smallest strictly-positive value with its own bucket; observations at or
+#: below zero (and underflows) land in the dedicated underflow bucket
+HISTOGRAM_FLOOR = 1e-7
+
+#: the quantiles every snapshot reports
+SNAPSHOT_QUANTILES = (0.50, 0.95, 0.99)
+
+_UNDERFLOW = "underflow"
+
+
+class Counter:
+    """A monotonically-increasing named count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def snapshot(self) -> int:
+        return self._value
+
+    def merge(self, snapshot: int) -> None:
+        self.inc(int(snapshot))
+
+
+class Gauge:
+    """A last-write-wins named measurement."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: float = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+    def merge(self, snapshot: float) -> None:
+        # merging process-local gauges keeps the most extreme reading: a
+        # gauge folded across workers answers "how large did this get"
+        with self._lock:
+            self._value = max(self._value, float(snapshot))
+
+
+def bucket_index(value: float) -> int:
+    """Log-spaced bucket index of a strictly positive *value*."""
+    return math.floor(math.log10(value / HISTOGRAM_FLOOR) * BUCKETS_PER_DECADE)
+
+
+def bucket_upper_bound(index: int) -> float:
+    """Exclusive upper bound of bucket *index*."""
+    return HISTOGRAM_FLOOR * 10 ** ((index + 1) / BUCKETS_PER_DECADE)
+
+
+class Histogram:
+    """A streaming histogram over fixed log-spaced buckets.
+
+    ``observe`` is O(1) and allocation-free on the hot path (bucket counts
+    live in a sparse dict); quantiles walk the sorted bucket keys and return
+    the crossing bucket's upper bound, so the estimate can overshoot the true
+    sample quantile by at most one bucket width and never undershoot below
+    the bucket's lower bound.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._buckets: Dict[Any, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        value = float(value)
+        key = _UNDERFLOW if value <= HISTOGRAM_FLOOR else bucket_index(value)
+        with self._lock:
+            self._buckets[key] = self._buckets.get(key, 0) + 1
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    # ------------------------------------------------------------------
+    def quantile(self, fraction: float) -> Optional[float]:
+        """Estimated value at *fraction* (0..1]; ``None`` when empty."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"quantile fraction must be in (0, 1], got {fraction}")
+        if self.count == 0:
+            return None
+        # the observation with (1-based) rank ceil(fraction * count) — the
+        # same convention as indexing a sorted sample list
+        rank = math.ceil(fraction * self.count)
+        seen = self._buckets.get(_UNDERFLOW, 0)
+        if seen >= rank:
+            return HISTOGRAM_FLOOR
+        for index in sorted(key for key in self._buckets if key != _UNDERFLOW):
+            seen += self._buckets[index]
+            if seen >= rank:
+                # cap the estimate at the exact max: the top bucket's upper
+                # bound can exceed every observed value
+                upper = bucket_upper_bound(index)
+                return upper if self.max is None else min(upper, self.max)
+        return self.max
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            snapshot: Dict[str, Any] = {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.mean,
+                "buckets": {str(key): count
+                            for key, count in sorted(self._buckets.items(),
+                                                     key=lambda item: str(item[0]))},
+            }
+        for fraction in SNAPSHOT_QUANTILES:
+            snapshot[f"p{int(fraction * 100)}"] = self.quantile(fraction)
+        return snapshot
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        with self._lock:
+            for key, count in snapshot.get("buckets", {}).items():
+                parsed = _UNDERFLOW if key == _UNDERFLOW else int(key)
+                self._buckets[parsed] = self._buckets.get(parsed, 0) + int(count)
+            self.count += int(snapshot.get("count", 0))
+            self.total += float(snapshot.get("sum", 0.0))
+            for bound, pick in (("min", min), ("max", max)):
+                incoming = snapshot.get(bound)
+                if incoming is None:
+                    continue
+                current = getattr(self, bound)
+                setattr(self, bound,
+                        incoming if current is None else pick(current, incoming))
+
+
+class MetricsRegistry:
+    """A named, typed collection of metrics with get-or-create accessors.
+
+    One module-level default registry backs the whole process (see
+    :func:`default_registry`); tests and worker-side capture swap in private
+    instances via :func:`set_default_registry`.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, metric_type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.setdefault(name, metric_type(name))
+        if not isinstance(metric, metric_type):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {metric_type.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Plain-JSON dump: ``{"counters": .., "gauges": .., "histograms": ..}``."""
+        snapshot: Dict[str, Dict[str, Any]] = {
+            "counters": {}, "gauges": {}, "histograms": {}}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Counter):
+                snapshot["counters"][name] = metric.snapshot()
+            elif isinstance(metric, Gauge):
+                snapshot["gauges"][name] = metric.snapshot()
+            else:
+                snapshot["histograms"][name] = metric.snapshot()
+        return snapshot
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
+        """Fold another registry's snapshot (e.g. a worker's delta) into this one."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).merge(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).merge(value)
+        for name, value in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge(value)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+# ---------------------------------------------------------------------------
+# the process-wide default registry
+# ---------------------------------------------------------------------------
+_default_registry = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install *registry* as the process default; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

@@ -1,0 +1,224 @@
+"""The span tracer: nested, thread-safe timing of the query pipeline.
+
+A span names one timed region (``synthesis.emit``, ``sandbox.execute``,
+``exec.task`` ...) with monotonic start/duration, free-form attributes, and a
+parent link maintained through :mod:`contextvars` — so nesting is correct
+across threads and ``async`` contexts without any explicit plumbing.
+
+Tracing is **off by default**: :func:`span` always times its body and feeds
+the duration into the default metrics registry (a streaming histogram named
+``span.<name>.seconds``), but spans are only *buffered* while the tracer is
+enabled.  The buffer is per process; worker processes drain theirs into the
+execution fabric's wire results (see :func:`repro.exec.workers.run_task`) and
+the parent re-ingests them, so a parallel sweep yields one merged trace.
+
+Inertness contract: span state never reaches task payloads, content digests,
+cache keys, or any rendered table — enabling tracing cannot change a single
+result byte, only add telemetry on the side.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import logging
+import os
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.metrics import default_registry
+
+logger = logging.getLogger(__name__)
+
+#: the innermost open span's id in this execution context (None = root)
+_current_span_id: ContextVar[Optional[int]] = ContextVar(
+    "repro_obs_current_span", default=None)
+
+#: prefix of the auto-fed latency histograms (one per distinct span name)
+SPAN_HISTOGRAM_PREFIX = "span."
+
+
+@dataclass
+class Span:
+    """One closed timed region."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    #: monotonic start, seconds since the tracer's perf-counter epoch
+    start_s: float
+    duration_s: float
+    #: wall-clock start (epoch seconds) — only used to align traces that
+    #: were recorded by different processes; ordering within a process
+    #: always comes from the monotonic ``start_s``
+    start_wall: float
+    thread_id: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "start_wall": self.start_wall,
+            "thread_id": self.thread_id,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """A per-process span buffer with monotonic ids."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._spans: List[Span] = []
+        self._lock = threading.Lock()
+        self._next_id = 1
+        #: offset turning perf-counter readings into wall-clock seconds
+        self.wall_offset = time.time() - time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            return span_id
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    @property
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    # ------------------------------------------------------------------
+    def drain(self) -> Dict[str, Any]:
+        """Detach the buffered spans as a plain-data batch (buffer empties).
+
+        The batch carries the recording process's label so the parent's
+        :meth:`ingest` can keep per-process rows apart in the exported trace.
+        """
+        with self._lock:
+            spans, self._spans = self._spans, []
+        return {
+            "process": f"pid-{os.getpid()}",
+            "spans": [span.to_dict() for span in spans],
+        }
+
+    def ingest(self, batch: Dict[str, Any],
+               process: Optional[str] = None) -> int:
+        """Fold a drained batch (usually from a worker process) into this buffer.
+
+        Span ids are remapped onto this tracer's id space (parent links
+        inside the batch are preserved); the originating process label is
+        stamped into each span's attributes.  Returns how many spans landed.
+        """
+        label = process or batch.get("process") or "worker"
+        id_map: Dict[int, int] = {}
+        ingested = 0
+        for span_dict in batch.get("spans", ()):
+            id_map[span_dict["span_id"]] = self.allocate_id()
+        for span_dict in batch.get("spans", ()):
+            attrs = dict(span_dict.get("attrs", {}))
+            attrs.setdefault("process", label)
+            parent = span_dict.get("parent_id")
+            self.record(Span(
+                name=span_dict["name"],
+                span_id=id_map[span_dict["span_id"]],
+                # a batch parent that is not itself in the batch was left
+                # open in the worker (impossible for fabric tasks); root it
+                parent_id=id_map.get(parent) if parent is not None else None,
+                start_s=float(span_dict["start_s"]),
+                duration_s=float(span_dict["duration_s"]),
+                start_wall=float(span_dict["start_wall"]),
+                thread_id=int(span_dict.get("thread_id", 0)),
+                attrs=attrs,
+            ))
+            ingested += 1
+        return ingested
+
+
+# ---------------------------------------------------------------------------
+# the process-wide tracer
+# ---------------------------------------------------------------------------
+_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install *tracer* as the process tracer; returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+def enable_tracing() -> None:
+    _tracer.enabled = True
+
+
+def disable_tracing() -> None:
+    _tracer.enabled = False
+
+
+def tracing_enabled() -> bool:
+    return _tracer.enabled
+
+
+# ---------------------------------------------------------------------------
+# the one instrumentation primitive
+# ---------------------------------------------------------------------------
+@contextlib.contextmanager
+def span(name: str, attrs: Optional[Dict[str, Any]] = None) -> Iterator[None]:
+    """Time a region: feed its latency histogram, buffer a span if tracing.
+
+    Cheap when tracing is disabled — two clock reads and one histogram
+    observation — so instrumentation can stay on the hot path permanently.
+    Exceptions propagate; the span still closes and is marked with an
+    ``error`` attribute.
+    """
+    tracer = _tracer
+    buffering = tracer.enabled
+    if buffering:
+        span_id = tracer.allocate_id()
+        parent_token = _current_span_id.set(span_id)
+    started = time.perf_counter()
+    error_name: Optional[str] = None
+    try:
+        yield
+    except BaseException as error:
+        error_name = type(error).__name__
+        raise
+    finally:
+        duration = time.perf_counter() - started
+        default_registry().histogram(
+            SPAN_HISTOGRAM_PREFIX + name + ".seconds").observe(duration)
+        if buffering:
+            _current_span_id.reset(parent_token)
+            parent_id = _current_span_id.get()
+            span_attrs = dict(attrs) if attrs else {}
+            if error_name is not None:
+                span_attrs["error"] = error_name
+            tracer.record(Span(
+                name=name,
+                span_id=span_id,
+                parent_id=parent_id,
+                start_s=started,
+                duration_s=duration,
+                start_wall=tracer.wall_offset + started,
+                thread_id=threading.get_ident() & 0xFFFF,
+                attrs=span_attrs,
+            ))

@@ -11,6 +11,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from repro.obs import default_registry, span
 from repro.sandbox.policy import PolicyViolation, SandboxPolicy, validate_source
 
 
@@ -99,6 +100,19 @@ class ExecutionSandbox:
         libraries) is copied into the execution globals; the same dictionary
         is returned in the outcome so callers can inspect mutations.
         """
+        attrs: Dict[str, Any] = {"source_bytes": len(source)}
+        with span("sandbox.execute", attrs=attrs):
+            outcome = self._execute(source, namespace, validate)
+            if outcome.failed:
+                attrs["error"] = outcome.error_type
+        registry = default_registry()
+        registry.counter("sandbox.runs").inc()
+        if outcome.failed:
+            registry.counter("sandbox.failures").inc()
+        return outcome
+
+    def _execute(self, source: str, namespace: Optional[Dict[str, Any]],
+                 validate: bool) -> ExecutionOutcome:
         start = time.perf_counter()
         exec_globals: Dict[str, Any] = dict(namespace or {})
         builtin_table = _safe_builtins()

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 from repro.graph import PropertyGraph
 from repro.graph.diff import GraphDiff, diff_graphs
+from repro.obs import span
 from repro.scenarios.events import EngineState, expand_events
 from repro.scenarios.spec import ScenarioSpec
 from repro.utils.tables import format_table
@@ -238,34 +239,39 @@ class EventEngine:
         event on a zero-mass graph fails here, before any snapshot is taken,
         so a broken spec can never produce a half-mutated timeline.
         """
-        graph = self.spec.build_topology()
-        # validate the *declared* events (windows included) against the
-        # initial topology, then expand windows into drain/restore pairs
-        declared = self.spec.sorted_events()
-        for event in declared:
-            event.validate_against(graph)
-        events = expand_events(declared, graph=graph)
-        state = EngineState()
-        timeline = ScenarioTimeline(scenario_name=self.spec.name)
-        timeline.snapshots.append(Snapshot(time=0.0, graph=graph.copy()))
+        replay_attrs = {"scenario": self.spec.name, "family": self.spec.family}
+        with span("scenario.replay", attrs=replay_attrs):
+            with span("scenario.build", attrs={"family": self.spec.family}):
+                graph = self.spec.build_topology()
+            # validate the *declared* events (windows included) against the
+            # initial topology, then expand windows into drain/restore pairs
+            declared = self.spec.sorted_events()
+            for event in declared:
+                event.validate_against(graph)
+            events = expand_events(declared, graph=graph)
+            state = EngineState()
+            timeline = ScenarioTimeline(scenario_name=self.spec.name)
+            timeline.snapshots.append(Snapshot(time=0.0, graph=graph.copy()))
 
-        grouped: Dict[float, List] = {}
-        for event in events:
-            grouped.setdefault(event.at, []).append(event)
+            grouped: Dict[float, List] = {}
+            for event in events:
+                grouped.setdefault(event.at, []).append(event)
 
-        previous = timeline.snapshots[0].graph
-        for at in sorted(grouped):
-            changes: List[str] = []
-            for event in grouped[at]:
-                changes.extend(event.apply(graph, state))
-            current = graph.copy()
-            timeline.snapshots.append(Snapshot(
-                time=at,
-                graph=current,
-                changes=changes,
-                diff_from_previous=diff_graphs(previous, current),
-            ))
-            previous = current
+            previous = timeline.snapshots[0].graph
+            for at in sorted(grouped):
+                with span("scenario.snapshot", attrs={"time": at}):
+                    changes: List[str] = []
+                    for event in grouped[at]:
+                        changes.extend(event.apply(graph, state))
+                    current = graph.copy()
+                    timeline.snapshots.append(Snapshot(
+                        time=at,
+                        graph=current,
+                        changes=changes,
+                        diff_from_previous=diff_graphs(previous, current),
+                    ))
+                    previous = current
+            replay_attrs["snapshots"] = len(timeline.snapshots)
         return timeline
 
 

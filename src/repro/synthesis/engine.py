@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Union
 
 from repro.graph import PropertyGraph, graph_to_dict
+from repro.obs import span
 from repro.synthesis import frames_emitter, networkx_emitter, sql_emitter
 from repro.synthesis.intents import Intent, IntentParseError, parse_query
 from repro.synthesis.reference import (
@@ -91,16 +92,19 @@ class CodeSynthesisEngine:
         the backend cannot express it.
         """
         require_in(backend, CODE_BACKENDS, "backend")
-        try:
-            intent = self.resolve_intent(query)
-        except IntentParseError as exc:
-            raise UnsupportedQueryError(str(exc)) from exc
-        emitter = self._EMITTERS[backend]
-        try:
-            code = emitter.emit(intent)
-        except KeyError as exc:
-            raise UnsupportedQueryError(
-                f"backend {backend!r} cannot express intent {intent.name!r}") from exc
+        attrs: Dict[str, object] = {"backend": backend}
+        with span("synthesis.emit", attrs=attrs):
+            try:
+                intent = self.resolve_intent(query)
+            except IntentParseError as exc:
+                raise UnsupportedQueryError(str(exc)) from exc
+            attrs["intent"] = intent.name
+            emitter = self._EMITTERS[backend]
+            try:
+                code = emitter.emit(intent)
+            except KeyError as exc:
+                raise UnsupportedQueryError(
+                    f"backend {backend!r} cannot express intent {intent.name!r}") from exc
         language = "sql" if backend == "sql" else "python"
         return GeneratedProgram(code=code, language=language, backend=backend, intent=intent)
 
@@ -127,13 +131,15 @@ class CodeSynthesisEngine:
         intent.
         """
         require_in(backend, TEMPORAL_CODE_BACKENDS, "backend")
-        emitter = self._TEMPORAL_EMITTERS[backend]
-        try:
-            code = emitter.emit_temporal(intent)
-        except KeyError as exc:
-            raise UnsupportedQueryError(
-                f"backend {backend!r} cannot express temporal intent "
-                f"{intent.name!r}") from exc
+        with span("synthesis.emit_temporal",
+                  attrs={"backend": backend, "intent": intent.name}):
+            emitter = self._TEMPORAL_EMITTERS[backend]
+            try:
+                code = emitter.emit_temporal(intent)
+            except KeyError as exc:
+                raise UnsupportedQueryError(
+                    f"backend {backend!r} cannot express temporal intent "
+                    f"{intent.name!r}") from exc
         return GeneratedProgram(code=code, language="python", backend=backend,
                                 intent=intent)
 
@@ -149,7 +155,8 @@ class CodeSynthesisEngine:
             intent = self.resolve_intent(query)
         except IntentParseError as exc:
             raise UnsupportedQueryError(str(exc)) from exc
-        outcome: ReferenceOutcome = evaluate_reference(graph, intent)
+        with span("synthesis.direct", attrs={"intent": intent.name}):
+            outcome: ReferenceOutcome = evaluate_reference(graph, intent)
         payload: Dict[str, object] = {"kind": outcome.kind}
         if outcome.kind in ("value", "both"):
             payload["value"] = outcome.value

@@ -1,6 +1,8 @@
 """Tests for the NeMoEval benchmark: corpus, evaluator, error classifier,
 logger, and runner (including agreement with the paper's accuracy tables)."""
 
+import math
+
 import pytest
 
 from repro.benchmark import (
@@ -221,8 +223,20 @@ class TestResultsLogger:
         logger.log(self._record(True, backend="sql"))
         assert logger.accuracy(backend="networkx") == 0.5
         assert logger.accuracy(backend="sql") == 1.0
-        assert logger.accuracy(backend="pandas") == 0.0
         assert len(logger.filtered(passed=True)) == 2
+
+    def test_accuracy_empty_filter_is_nan_not_zero(self):
+        """No matching records must read as "no data", never as 0% accuracy."""
+        logger = ResultsLogger()
+        logger.log(self._record(True))
+        assert math.isnan(logger.accuracy(backend="pandas"))
+        assert math.isnan(ResultsLogger().accuracy())
+
+    def test_render_summary_prints_na_for_nan(self):
+        from repro.benchmark.logger import accuracy_cell
+        assert accuracy_cell(float("nan")) == "n/a"
+        assert accuracy_cell(0.0) == 0.0
+        assert accuracy_cell(0.75) == 0.75
 
     def test_error_classification_on_log(self):
         logger = ResultsLogger()
@@ -309,3 +323,23 @@ class TestBenchmarkRunner:
         assert "Accuracy summary" in traffic_report.render_summary()
         assert "Accuracy by complexity" in traffic_report.render_breakdown()
         assert BenchmarkConfig().traffic_application().graph.node_count == 40
+
+    def test_cached_provenance_threaded_into_records(self, small_benchmark_config,
+                                                     tmp_path):
+        # regression: saved result logs could not tell cache hits from fresh
+        # runs — the runner now stamps each record with the fabric's verdict
+        from repro.exec import ExecutionOptions
+
+        options = ExecutionOptions(cache=str(tmp_path / "cache"))
+        first = BenchmarkRunner(small_benchmark_config, execution=options) \
+            .run_application("malt", models=["gpt-4"], backends=["networkx"])
+        assert all(not r.cached for r in first.logger.records)
+
+        second = BenchmarkRunner(small_benchmark_config, execution=options) \
+            .run_application("malt", models=["gpt-4"], backends=["networkx"])
+        assert all(r.cached for r in second.logger.records)
+        # the flag is telemetry: verdicts and the saved log's shape agree
+        dumped = second.logger.to_records()
+        assert all(row["cached"] is True for row in dumped)
+        assert [r.passed for r in first.logger.records] \
+            == [r.passed for r in second.logger.records]
