@@ -1,0 +1,106 @@
+"""CI perf gate: fail when any instrumented stage's p95 regresses.
+
+Generalizes the single-number >3x topology-throughput gate
+(``check_throughput_regression.py``) to *every* instrumented pipeline
+stage: the smoke run exports its metrics snapshot, and each
+``span.<name>.seconds`` histogram's p95 is compared against the committed
+baseline (``benchmarks/results/obs_baseline.json``) under the
+:mod:`repro.obs.analyze` noise model — relative limit *and* absolute
+floor, with a minimum observation count so a once-per-run span cannot
+gate on scheduler luck.
+
+Spans present on only one side are reported as ``new``/``removed`` and
+never fail the gate (new instrumentation must not need a baseline commit
+in the same PR to go green).  A builder who makes a stage slower must
+either fix it or consciously re-commit the baseline:
+
+    PYTHONPATH=src python -m repro.cli.main benchmark \
+        --application traffic --models gpt-4 --jobs 2 --no-cache \
+        --no-ledger --metrics-out benchmarks/results/obs_baseline.json
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/check_span_regression.py \
+        --metrics benchmarks/results/metrics.json
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.analyze import diff_metrics
+
+#: a span's p95 may be at most this many times the committed baseline
+MAX_REGRESSION = 5.0
+
+#: and must exceed it by at least this many seconds — sub-5ms spans are
+#: scheduler noise on shared CI runners, whatever their ratio says
+ABS_FLOOR_S = 0.005
+
+#: both sides need at least this many observations for a verdict
+MIN_COUNT = 5
+
+BASELINE_PATH = Path(__file__).parent / "results" / "obs_baseline.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="gate per-span p95 latency against the committed baseline")
+    parser.add_argument("--metrics", type=Path, required=True,
+                        help="metrics snapshot exported by the current run")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH,
+                        help=f"committed baseline snapshot (default {BASELINE_PATH})")
+    parser.add_argument("--limit", type=float, default=MAX_REGRESSION,
+                        help=f"maximum p95 ratio vs baseline (default {MAX_REGRESSION}x)")
+    parser.add_argument("--abs-floor", type=float, default=ABS_FLOOR_S,
+                        help=f"minimum absolute p95 increase in seconds "
+                             f"(default {ABS_FLOOR_S})")
+    parser.add_argument("--min-count", type=int, default=MIN_COUNT,
+                        help=f"minimum observations per side (default {MIN_COUNT})")
+    args = parser.parse_args(argv)
+
+    documents = {}
+    for label, path in (("baseline", args.baseline), ("current", args.metrics)):
+        try:
+            documents[label] = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"cannot read {label} snapshot {path}: {error}", file=sys.stderr)
+            return 1
+
+    diff = diff_metrics(documents["baseline"], documents["current"],
+                        band=args.limit - 1.0, abs_floor=args.abs_floor,
+                        min_count=args.min_count, quantiles=("p95",))
+    span_entries = [entry for entry in diff.entries
+                    if entry.kind == "histogram"
+                    and entry.name.startswith("span.")
+                    and entry.name.endswith(".seconds")]
+    if not span_entries:
+        print("no span histograms to compare — did the run export metrics?",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    for entry in span_entries:
+        if entry.status == "regression":
+            verdict = "REGRESSION"
+            failures.append(f"{entry.name}: {entry.detail} "
+                            f"({entry.ratio:.2f}x, limit {args.limit}x)")
+        elif entry.status in ("new", "removed"):
+            verdict = entry.status.upper()
+        else:
+            verdict = "ok"
+        ratio = f"{entry.ratio:.2f}x" if entry.ratio is not None else "-"
+        print(f"{entry.name:40s} {entry.detail or 'n/a':36s} {ratio:>8s} {verdict}")
+
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    if not failures:
+        compared = sum(1 for e in span_entries if e.status in ("ok", "improved"))
+        print(f"all {compared} comparable span p95s within {args.limit}x "
+              f"of the committed baseline")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,12 +11,18 @@ two machine-readable artifacts:
   histograms carry a consistent count/sum/min/max and the streaming
   p50/p95/p99 quantiles.
 
-This checker enforces both shapes with the stdlib only, so the CI smoke run
-catches an export regression (a renamed field, a string timestamp, a lane
-without a name) before anyone tries to load the file in a viewer.  Span
-coverage is asserted with ``--expect PREFIX``: the trace must contain at
-least one X event whose name starts with the prefix, which is how CI pins
-"synthesis, sandbox, and fabric spans all made it into the merged trace".
+This checker enforces both shapes so the CI smoke run catches an export
+regression (a renamed field, a string timestamp, a lane without a name)
+before anyone tries to load the file in a viewer.  Span coverage is
+asserted with ``--expect PREFIX``: the trace must contain at least one X
+event whose name starts with the prefix, which is how CI pins "synthesis,
+sandbox, and fabric spans all made it into the merged trace".
+
+The span-parsing pieces (:data:`X_EVENT_FIELDS`,
+:func:`metadata_process_name`) are imported from
+:mod:`repro.obs.analyze` — the same helpers ``repro obs report`` analyzes
+traces with — so the checker and the analyzer cannot disagree about what a
+well-formed span looks like.
 
 Run from the repository root::
 
@@ -31,8 +37,7 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List
 
-#: every complete ("X") trace event must carry these fields
-X_EVENT_FIELDS = ("name", "ph", "ts", "dur", "pid", "tid")
+from repro.obs.analyze import X_EVENT_FIELDS, metadata_process_name
 
 #: every histogram snapshot must carry these fields
 HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean",
@@ -63,8 +68,7 @@ def validate_trace(document: Any, expect: List[str] = ()) -> List[str]:
         phase = event.get("ph")
         if phase == "M":
             if event.get("name") == "process_name":
-                name = event.get("args", {}).get("name")
-                if not isinstance(name, str) or not name:
+                if metadata_process_name(event) is None:
                     problems.append(f"{where}: process_name without a name arg")
                 named_pids.add(event.get("pid"))
             continue

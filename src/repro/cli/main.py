@@ -9,7 +9,10 @@ Sub-commands:
 * ``improve``   — run the pass@k / self-debug case study (Table 6);
 * ``queries``   — list the benchmark query corpus (Table 1);
 * ``scenarios`` — list/describe/generate structured topology families and
-                  dynamic-event scenarios (``repro.scenarios``).
+                  dynamic-event scenarios (``repro.scenarios``);
+* ``obs``       — analyze recorded telemetry: bottleneck/critical-path
+                  reports from traces, run-ledger management, and
+                  noise-banded regression diffs between runs.
 """
 
 from __future__ import annotations
@@ -19,6 +22,8 @@ import json
 import logging
 import os
 import sys
+import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro import __version__
@@ -31,7 +36,26 @@ from repro.exec import DEFAULT_CACHE_DIR, ExecutionOptions, ResultCache
 from repro.llm import available_models, create_provider
 from repro.llm.calibration import TEMPORAL_BACKENDS
 from repro.malt import MaltApplication
-from repro.obs import enable_tracing, write_metrics, write_trace
+from repro.obs import (
+    DEFAULT_LEDGER_DIR,
+    ResourceSampler,
+    RunLedger,
+    diff_metrics,
+    disable_sampling,
+    enable_sampling,
+    enable_tracing,
+    metrics_document,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.analyze import (
+    DEFAULT_ABS_FLOOR,
+    DEFAULT_MIN_COUNT,
+    DEFAULT_NOISE_BAND,
+    render_latency_table,
+    render_report,
+    spans_from_trace,
+)
 from repro.techniques import ImprovementCaseStudy
 from repro.traffic import TrafficAnalysisApplication
 from repro.utils.tables import format_table
@@ -103,22 +127,70 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
                        metavar="OUT.json",
                        help="write the metrics snapshot (counters, gauges, "
                             "latency histograms with p50/p95/p99) as JSON")
+    group.add_argument("--ledger", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="record this run (metrics snapshot + metadata) "
+                            "as an append-only ledger entry; compare runs "
+                            "later with 'obs diff' (default: on)")
+    group.add_argument("--ledger-dir", default=DEFAULT_LEDGER_DIR, metavar="DIR",
+                       help=f"run-ledger directory (default {DEFAULT_LEDGER_DIR})")
+    group.add_argument("--sample", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="sample RSS/CPU into resource.* gauges during the "
+                            "sweep — periodically here, once per task in "
+                            "workers (default: on)")
 
 
-def _start_observability(args: argparse.Namespace) -> None:
+def _start_observability(args: argparse.Namespace) -> Optional[ResourceSampler]:
+    """Arm tracing/sampling for a sweep; returns the running sampler, if any."""
     if getattr(args, "trace_path", None):
         enable_tracing()
+    if getattr(args, "sample", False):
+        enable_sampling()
+        return ResourceSampler().start()
+    return None
 
 
-def _finish_observability(args: argparse.Namespace) -> None:
+def _ledger_meta(args: argparse.Namespace, wall_time_s: float,
+                 exit_code: Optional[int]) -> dict:
+    """The run metadata recorded next to a ledger entry's metrics snapshot."""
+    meta = {
+        "version": __version__,
+        "host_cores": os.cpu_count(),
+        "wall_time_s": round(wall_time_s, 6),
+        "exit_code": exit_code,
+    }
+    for knob in ("jobs", "no_cache", "application", "models", "model",
+                 "scenarios", "temporal", "temporal_backends", "sizes"):
+        if getattr(args, knob, None) is not None:
+            meta[knob] = getattr(args, knob)
+    return meta
+
+
+def _finish_observability(args: argparse.Namespace,
+                          sampler: Optional[ResourceSampler] = None,
+                          wall_time_s: float = 0.0,
+                          exit_code: Optional[int] = None) -> None:
     """Export whatever the sweep recorded; runs even if the sweep failed.
 
-    The writers log the destination themselves at INFO level.
+    The writers log the destination themselves at INFO level.  A failed
+    sweep still writes its ledger entry — the entry's ``exit_code`` says how
+    the run ended, and a trace that stops at the failing span is exactly
+    what you want to look at.
     """
+    if sampler is not None:
+        sampler.stop()
+        disable_sampling()
     if getattr(args, "trace_path", None):
         write_trace(args.trace_path)
     if getattr(args, "metrics_path", None):
         write_metrics(args.metrics_path)
+    if getattr(args, "ledger", False):
+        RunLedger(args.ledger_dir).record(
+            command=args.command,
+            metrics=metrics_document(),
+            meta=_ledger_meta(args, wall_time_s, exit_code),
+            argv=list(getattr(args, "raw_argv", [])))
 
 
 def _print_fabric(run_report) -> None:
@@ -218,6 +290,53 @@ def build_parser() -> argparse.ArgumentParser:
     lock.add_argument("--check", action="store_true",
                       help="verify the on-disk corpus against freshly replayed "
                            "digests instead of rewriting it")
+
+    obs = subparsers.add_parser(
+        "obs", help="analyze recorded telemetry: reports, run ledger, diffs")
+    obs_sub = obs.add_subparsers(dest="obs_action")
+    report = obs_sub.add_parser(
+        "report", help="bottleneck / critical-path / resource report")
+    report.add_argument("--trace", dest="trace_in", default=None, metavar="TRACE.json",
+                        help="exported Chrome trace to analyze (self-time "
+                             "bottlenecks + critical path)")
+    report.add_argument("--metrics", dest="metrics_in", default=None,
+                        metavar="METRICS.json",
+                        help="exported metrics snapshot (resource gauges + "
+                             "span latency percentiles)")
+    report.add_argument("--top", type=int, default=10,
+                        help="rows in the bottleneck table (default 10)")
+    diff = obs_sub.add_parser(
+        "diff", help="regression verdict between two runs (nonzero exit on "
+                     "regression)")
+    diff.add_argument("base", nargs="?", default=None,
+                      help="baseline: a ledger entry id/prefix, 'latest'/'prev', "
+                           "or a metrics/ledger JSON path (default: prev)")
+    diff.add_argument("current", nargs="?", default=None,
+                      help="candidate run, same forms (default: latest)")
+    diff.add_argument("--ledger-dir", default=DEFAULT_LEDGER_DIR, metavar="DIR",
+                      help=f"ledger to resolve entry ids in "
+                           f"(default {DEFAULT_LEDGER_DIR})")
+    diff.add_argument("--band", type=float, default=DEFAULT_NOISE_BAND,
+                      help="relative noise band: a quantile must exceed the "
+                           "baseline by this fraction to regress "
+                           f"(default {DEFAULT_NOISE_BAND:g} = "
+                           f"{1 + DEFAULT_NOISE_BAND:g}x)")
+    diff.add_argument("--abs-floor", type=float, default=DEFAULT_ABS_FLOOR,
+                      help="absolute floor: quantile deltas below this never "
+                           f"regress (default {DEFAULT_ABS_FLOOR:g})")
+    diff.add_argument("--min-count", type=int, default=DEFAULT_MIN_COUNT,
+                      help="minimum observations per side for a histogram "
+                           f"verdict (default {DEFAULT_MIN_COUNT})")
+    ledger = obs_sub.add_parser("ledger", help="list/show recorded runs")
+    ledger_sub = ledger.add_subparsers(dest="ledger_action")
+    ledger_list = ledger_sub.add_parser("list", help="list recorded runs")
+    ledger_list.add_argument("--dir", dest="ledger_dir",
+                             default=DEFAULT_LEDGER_DIR, metavar="DIR")
+    ledger_show = ledger_sub.add_parser("show", help="print one run record")
+    ledger_show.add_argument("entry", help="entry id, unique prefix, "
+                                           "'latest', or 'prev'")
+    ledger_show.add_argument("--dir", dest="ledger_dir",
+                             default=DEFAULT_LEDGER_DIR, metavar="DIR")
     return parser
 
 
@@ -470,15 +589,106 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 2
 
 
+# ---------------------------------------------------------------------------
+# obs: telemetry analysis
+# ---------------------------------------------------------------------------
+def _load_metrics_source(token: str, ledger_dir: str):
+    """Resolve one ``obs diff`` operand to ``(label, metrics document)``.
+
+    A token naming an existing JSON file loads directly (both raw metrics
+    snapshots and whole ledger entry files work); anything else resolves
+    through the ledger (entry id, unique prefix, ``latest``, ``prev``).
+    """
+    path = Path(token)
+    if path.suffix == ".json" and path.is_file():
+        document = json.loads(path.read_text(encoding="utf-8"))
+        if "metrics" in document and "counters" not in document:
+            return str(path), document["metrics"]     # a ledger entry file
+        return str(path), document
+    entry = RunLedger(ledger_dir).find(token)
+    return f"{entry['id']} ({entry['command']})", entry["metrics"]
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    require(args.trace_in or args.metrics_in,
+            "nothing to report on: pass --trace and/or --metrics")
+    require(args.top >= 1, f"--top must be at least 1, got {args.top}")
+    metrics = None
+    if args.metrics_in:
+        metrics = json.loads(Path(args.metrics_in).read_text(encoding="utf-8"))
+    if args.trace_in:
+        document = json.loads(Path(args.trace_in).read_text(encoding="utf-8"))
+        print(render_report(spans_from_trace(document), metrics, top=args.top))
+    else:
+        print(render_latency_table(metrics, top=args.top))
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    base_label, base_doc = _load_metrics_source(
+        args.base or "prev", args.ledger_dir)
+    current_label, current_doc = _load_metrics_source(
+        args.current or "latest", args.ledger_dir)
+    require(args.band > 0, f"--band must be positive, got {args.band}")
+    require(args.abs_floor >= 0,
+            f"--abs-floor cannot be negative, got {args.abs_floor}")
+    diff = diff_metrics(base_doc, current_doc, band=args.band,
+                        abs_floor=args.abs_floor, min_count=args.min_count)
+    print(f"base:    {base_label}")
+    print(f"current: {current_label}")
+    print()
+    print(diff.render())
+    return 0 if diff.ok else 1
+
+
+def _cmd_obs_ledger(args: argparse.Namespace) -> int:
+    ledger = RunLedger(args.ledger_dir)
+    if args.ledger_action == "list":
+        rows = []
+        for entry in ledger.entries():
+            meta = entry.get("meta", {})
+            rows.append([
+                entry["id"],
+                time.strftime("%Y-%m-%d %H:%M:%S",
+                              time.localtime(entry.get("recorded_at", 0))),
+                entry.get("command", "?"),
+                meta.get("jobs", "-"),
+                meta.get("wall_time_s", "-"),
+                meta.get("exit_code", "-"),
+            ])
+        print(format_table(
+            ["id", "recorded", "command", "jobs", "wall (s)", "exit"], rows,
+            title=f"Run ledger — {ledger.directory} ({len(rows)} entries)"))
+        return 0
+    if args.ledger_action == "show":
+        print(json.dumps(ledger.find(args.entry), indent=2, sort_keys=True))
+        return 0
+    print("usage: repro-nemo obs ledger {list,show} ...")
+    return 2
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_action == "report":
+        return _cmd_obs_report(args)
+    if args.obs_action == "diff":
+        return _cmd_obs_diff(args)
+    if args.obs_action == "ledger":
+        return _cmd_obs_ledger(args)
+    print("usage: repro-nemo obs {report,diff,ledger} ...")
+    return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    args.raw_argv = list(argv) if argv is not None else list(sys.argv[1:])
     handlers = {
         "ask": _cmd_ask,
         "benchmark": _cmd_benchmark,
         "cost": _cmd_cost,
         "improve": _cmd_improve,
+        "obs": _cmd_obs,
         "queries": _cmd_queries,
         "scenarios": _cmd_scenarios,
     }
@@ -486,18 +696,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.print_help()
         return 2
     _configure_logging(args.log_level)
-    _start_observability(args)
+    started = time.perf_counter()
+    sampler = _start_observability(args)
+    exit_code: Optional[int] = None
     try:
-        return handlers[args.command](args)
+        exit_code = handlers[args.command](args)
+        return exit_code
     except (ValidationError, FileNotFoundError, json.JSONDecodeError) as error:
         # user-facing failure verdict, not a diagnostic — always printed,
         # independent of the configured log level
         print(f"error: {error}", file=sys.stderr)
+        exit_code = 1
         return 1
     finally:
         # a failed sweep still exports what it recorded — a trace that ends
         # at the failing span is exactly what you want to look at
-        _finish_observability(args)
+        _finish_observability(args, sampler,
+                              wall_time_s=time.perf_counter() - started,
+                              exit_code=exit_code)
 
 
 if __name__ == "__main__":  # pragma: no cover

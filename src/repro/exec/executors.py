@@ -21,7 +21,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.exec.task import Task
 from repro.exec.workers import run_chunk, run_task  # noqa: F401 - run_task is pool-submitted
-from repro.obs import tracing_enabled
+from repro.obs import sampling_enabled, tracing_enabled
 from repro.utils.validation import require
 
 
@@ -101,7 +101,7 @@ class ParallelExecutor:
         parent merges them back into one trace.
         """
         wire = task.to_wire()
-        wire["obs"] = {"trace": tracing_enabled()}
+        wire["obs"] = {"trace": tracing_enabled(), "sample": sampling_enabled()}
         return wire
 
     def execute(self, tasks: Sequence[Task]) -> List[Dict[str, Any]]:

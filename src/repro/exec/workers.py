@@ -28,7 +28,7 @@ import time
 import traceback
 from typing import Any, Callable, Dict, List, Tuple
 
-from repro.obs import collect_observations, span
+from repro.obs import collect_observations, sample_now, span
 
 
 def resolve_worker(reference: str) -> Callable[[Dict[str, Any]], Any]:
@@ -91,6 +91,10 @@ def run_task(wire_task: Dict[str, Any]) -> Dict[str, Any]:
         return _execute_wire_task(wire_task)
     with collect_observations(trace=bool(observe.get("trace"))) as capture:
         raw = _execute_wire_task(wire_task)
+        if observe.get("sample"):
+            # one resource reading per task: the gauges max-merge, so the
+            # parent ends up with each worker process's peak footprint
+            sample_now()
     raw["obs"] = capture.to_wire()
     return raw
 

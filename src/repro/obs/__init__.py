@@ -12,6 +12,16 @@ The observability layer every perf-facing PR reads its numbers from:
   a metrics snapshot JSON, surfaced as ``--trace`` / ``--metrics-out`` on
   the sweep CLI commands.
 
+On top of the telemetry sits the analysis layer (``repro obs`` on the CLI):
+
+* :class:`RunLedger` — an append-only per-run record store
+  (``.repro-ledger/``) of metrics snapshots plus run metadata;
+* :mod:`repro.obs.analyze` — self-time attribution, critical-path
+  extraction, and metrics-snapshot diffing under an explicit noise band;
+* :class:`ResourceSampler` / :func:`sample_now` — RSS and CPU readings as
+  max-merge gauges, taken per task in pool workers and periodically in the
+  parent.
+
 The hard contract is **inertness**: observability state is excluded from
 task content digests and cache keys, serial and parallel sweeps stay
 byte-identical with tracing on, and the disabled-path overhead is two clock
@@ -25,6 +35,15 @@ from __future__ import annotations
 import contextlib
 from typing import Iterator, Optional
 
+from repro.obs.analyze import (
+    DiffEntry,
+    MetricsDiff,
+    TraceSpan,
+    critical_path,
+    diff_metrics,
+    self_time_table,
+    spans_from_trace,
+)
 from repro.obs.export import (
     metrics_document,
     spans_to_trace_events,
@@ -32,6 +51,7 @@ from repro.obs.export import (
     write_metrics,
     write_trace,
 )
+from repro.obs.ledger import DEFAULT_LEDGER_DIR, RunLedger
 from repro.obs.metrics import (
     BUCKETS_PER_DECADE,
     Counter,
@@ -40,6 +60,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
     default_registry,
     set_default_registry,
+)
+from repro.obs.sample import (
+    ResourceSampler,
+    disable_sampling,
+    enable_sampling,
+    sample_now,
+    sampling_enabled,
 )
 from repro.obs.trace import (
     Span,
@@ -104,22 +131,36 @@ def ingest_observations(wire: Optional[dict]) -> None:
 __all__ = [
     "BUCKETS_PER_DECADE",
     "Counter",
+    "DEFAULT_LEDGER_DIR",
+    "DiffEntry",
     "Gauge",
     "Histogram",
+    "MetricsDiff",
     "MetricsRegistry",
     "ObservationCapture",
+    "ResourceSampler",
+    "RunLedger",
     "Span",
+    "TraceSpan",
     "Tracer",
     "collect_observations",
+    "critical_path",
     "default_registry",
+    "diff_metrics",
+    "disable_sampling",
     "disable_tracing",
+    "enable_sampling",
     "enable_tracing",
     "get_tracer",
     "ingest_observations",
     "metrics_document",
+    "sample_now",
+    "sampling_enabled",
+    "self_time_table",
     "set_default_registry",
     "set_tracer",
     "span",
+    "spans_from_trace",
     "spans_to_trace_events",
     "trace_document",
     "tracing_enabled",

@@ -80,8 +80,13 @@ def trace_document(spans: Optional[List[Span]] = None) -> Dict[str, Any]:
 
 
 def write_trace(path, spans: Optional[List[Span]] = None) -> Path:
-    """Write the trace document as JSON; returns the written path."""
+    """Write the trace document as JSON; returns the written path.
+
+    Parent directories are created, so ``--trace out/dir/trace.json``
+    works without a prior ``mkdir``.
+    """
     path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
     document = trace_document(spans)
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
@@ -97,8 +102,13 @@ def metrics_document(registry: Optional[MetricsRegistry] = None) -> Dict[str, An
 
 
 def write_metrics(path, registry: Optional[MetricsRegistry] = None) -> Path:
-    """Write the metrics snapshot as JSON; returns the written path."""
+    """Write the metrics snapshot as JSON; returns the written path.
+
+    Parent directories are created, so ``--metrics-out out/dir/m.json``
+    works without a prior ``mkdir``.
+    """
     path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
     document = metrics_document(registry)
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")

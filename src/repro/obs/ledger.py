@@ -1,0 +1,144 @@
+"""The run ledger: an append-only per-run record of metrics and metadata.
+
+Every benchmark/cost sweep can drop one JSON entry into ``.repro-ledger/``:
+the run's full metrics snapshot (counters, gauges, latency histograms with
+their quantiles) plus the metadata needed to interpret it later — command
+line, scenario set, backends, ``--jobs``, package version, host core count,
+wall time.  Entries are immutable once written and never read back by the
+pipeline itself, so the ledger shares the observability layer's inertness
+contract: recording a run cannot change its results.
+
+What the ledger buys: ``repro obs diff`` compares any two entries under the
+noise band (the per-stage regression oracle), and ``repro obs ledger
+list/show`` answers "what did I run last Tuesday and how slow was it"
+without re-running anything.
+
+Entry ids are ``<nanosecond-hex>-<pid>`` so filenames sort chronologically
+and two processes recording in the same nanosecond cannot collide; lookup
+accepts any unique id prefix plus the aliases ``latest`` and ``prev``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.utils.validation import ValidationError
+
+logger = logging.getLogger(__name__)
+
+#: where sweep commands record their runs unless told otherwise
+DEFAULT_LEDGER_DIR = ".repro-ledger"
+
+LEDGER_FORMAT = "repro.obs.ledger/1"
+
+#: lookup aliases: offset from the newest entry
+_ALIASES = {"latest": 1, "prev": 2}
+
+
+class RunLedger:
+    """Append-only store of per-run observability records."""
+
+    def __init__(self, directory: Any = DEFAULT_LEDGER_DIR) -> None:
+        self.directory = Path(directory)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(self, command: str,
+               metrics: Dict[str, Any],
+               meta: Optional[Dict[str, Any]] = None,
+               argv: Optional[List[str]] = None) -> Dict[str, Any]:
+        """Append one run record; returns the written entry (with its id).
+
+        *metrics* is a metrics snapshot document (or a
+        :class:`MetricsRegistry`, snapshotted here); *meta* carries the
+        run's knobs (jobs, scenarios, backends, wall time, ...).
+        """
+        if isinstance(metrics, MetricsRegistry):
+            metrics = metrics.snapshot()
+        recorded_at = time.time()
+        entry_id = f"{time.time_ns():016x}-{os.getpid()}"
+        entry = {
+            "format": LEDGER_FORMAT,
+            "id": entry_id,
+            "recorded_at": recorded_at,
+            "command": command,
+            "argv": list(argv) if argv is not None else None,
+            "meta": dict(meta or {}),
+            "metrics": metrics,
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / f"{entry_id}.json"
+        path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        logger.info("ledger: recorded run %s (%s) in %s",
+                    entry_id, command, self.directory)
+        return entry
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def entry_ids(self) -> List[str]:
+        """Every recorded entry id, oldest first (filenames sort by time)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(path.stem for path in self.directory.glob("*.json"))
+
+    def load(self, entry_id: str) -> Dict[str, Any]:
+        path = self.directory / f"{entry_id}.json"
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise ValidationError(
+                f"no ledger entry {entry_id!r} in {self.directory}")
+        except (OSError, json.JSONDecodeError) as error:
+            raise ValidationError(f"cannot load ledger entry {path}: {error}")
+        if entry.get("format") != LEDGER_FORMAT:
+            raise ValidationError(
+                f"{path} is not a ledger entry "
+                f"(format {entry.get('format')!r}, expected {LEDGER_FORMAT!r})")
+        return entry
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Every recorded entry, oldest first."""
+        return [self.load(entry_id) for entry_id in self.entry_ids()]
+
+    def find(self, token: str) -> Dict[str, Any]:
+        """Resolve *token* (unique id prefix, ``latest``, or ``prev``)."""
+        ids = self.entry_ids()
+        if not ids:
+            raise ValidationError(
+                f"ledger {self.directory} is empty — run a sweep with "
+                f"--ledger first")
+        if token in _ALIASES:
+            offset = _ALIASES[token]
+            if len(ids) < offset:
+                raise ValidationError(
+                    f"ledger {self.directory} has only {len(ids)} entr"
+                    f"{'y' if len(ids) == 1 else 'ies'}, cannot resolve "
+                    f"{token!r}")
+            return self.load(ids[-offset])
+        matches = [entry_id for entry_id in ids if entry_id.startswith(token)]
+        if not matches:
+            raise ValidationError(
+                f"no ledger entry matches {token!r} in {self.directory}")
+        if len(matches) > 1:
+            raise ValidationError(
+                f"{token!r} is ambiguous in {self.directory}: "
+                f"matches {', '.join(matches[:5])}"
+                + (" ..." if len(matches) > 5 else ""))
+        return self.load(matches[0])
+
+    def latest(self, count: int = 1) -> List[Dict[str, Any]]:
+        """The newest *count* entries, oldest of them first."""
+        ids = self.entry_ids()
+        return [self.load(entry_id) for entry_id in ids[-count:]]
+
+    def __len__(self) -> int:
+        return len(self.entry_ids())

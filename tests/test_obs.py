@@ -116,6 +116,94 @@ class TestHistogram:
             assert merged[key] == expected[key]
 
 
+class TestHistogramMergeAlgebra:
+    """Property tests: snapshot/merge is a commutative, associative fold.
+
+    Worker deltas arrive in a nondeterministic order (pool scheduling), so
+    the merged parent histogram is only deterministic if merge order cannot
+    matter.  Each property is checked over several seeded random sample
+    sets rather than one hand-picked example."""
+
+    @staticmethod
+    def _filled(name, seed, count=400):
+        rng = random.Random(seed)
+        histogram = Histogram(name)
+        for _ in range(count):
+            # mix scales and include exact-boundary and underflow values
+            roll = rng.random()
+            if roll < 0.05:
+                histogram.observe(0.0)
+            elif roll < 0.15:
+                histogram.observe(bucket_upper_bound(rng.randrange(-20, 60)))
+            else:
+                histogram.observe(rng.lognormvariate(-4.0, 2.0))
+        return histogram
+
+    @staticmethod
+    def _comparable(histogram):
+        snapshot = histogram.snapshot()
+        return {key: snapshot[key] for key in
+                ("count", "sum", "min", "max", "buckets", "p50", "p95", "p99")}
+
+    def _assert_equivalent(self, left, right):
+        ours, theirs = self._comparable(left), self._comparable(right)
+        assert ours["count"] == theirs["count"]
+        assert ours["buckets"] == theirs["buckets"]
+        assert ours["min"] == theirs["min"]
+        assert ours["max"] == theirs["max"]
+        assert ours["sum"] == pytest.approx(theirs["sum"])
+        for key in ("p50", "p95", "p99"):
+            assert ours[key] == theirs[key]
+
+    def test_merge_is_commutative(self):
+        for seed in range(5):
+            ab = self._filled("a", seed)
+            ab.merge(self._filled("b", seed + 100).snapshot())
+            ba = self._filled("b", seed + 100)
+            ba.merge(self._filled("a", seed).snapshot())
+            self._assert_equivalent(ab, ba)
+
+    def test_merge_is_associative(self):
+        for seed in range(5):
+            parts = [self._filled(name, seed * 10 + offset)
+                     for offset, name in enumerate("abc")]
+            # (a + b) + c
+            left = self._filled("a", seed * 10)
+            left.merge(parts[1].snapshot())
+            left.merge(parts[2].snapshot())
+            # a + (b + c)
+            inner = self._filled("b", seed * 10 + 1)
+            inner.merge(parts[2].snapshot())
+            right = self._filled("a", seed * 10)
+            right.merge(inner.snapshot())
+            self._assert_equivalent(left, right)
+
+    def test_merged_quantiles_stay_within_the_documented_bound(self):
+        # the ~12% bound (one bucket factor) must survive sharding: shard
+        # samples across several histograms, merge, and compare against the
+        # exact sorted-sample quantiles
+        for seed in range(3):
+            rng = random.Random(seed)
+            samples = [rng.lognormvariate(-5.0, 1.5) for _ in range(3000)]
+            shards = [Histogram(f"s{i}") for i in range(4)]
+            for position, sample in enumerate(samples):
+                shards[position % 4].observe(sample)
+            merged = shards[0]
+            for shard in shards[1:]:
+                merged.merge(shard.snapshot())
+            ordered = sorted(samples)
+            for fraction in (0.5, 0.95, 0.99):
+                estimate = merged.quantile(fraction)
+                exact = ordered[math.ceil(fraction * len(ordered)) - 1]
+                assert exact <= estimate <= exact * BUCKET_FACTOR * (1 + 1e-9)
+
+    def test_merging_an_empty_snapshot_is_identity(self):
+        histogram = self._filled("h", 42)
+        before = self._comparable(histogram)
+        histogram.merge(Histogram("empty").snapshot())
+        assert self._comparable(histogram) == before
+
+
 class TestMetricsRegistry:
     def test_counter_rejects_negative_increments(self):
         registry = MetricsRegistry()
@@ -277,9 +365,10 @@ class TestInertness:
     def test_wire_obs_marker_rides_outside_the_payload(self):
         task = self._task()
         wire = ParallelExecutor._to_wire(task)
-        assert wire["obs"] == {"trace": False}
+        assert wire["obs"] == {"trace": False, "sample": False}
         enable_tracing()
-        assert ParallelExecutor._to_wire(task)["obs"] == {"trace": True}
+        assert ParallelExecutor._to_wire(task)["obs"] == {
+            "trace": True, "sample": False}
         # the marker never leaks into the digested fields
         assert wire["payload"] == task.payload
         assert task.digest() == self._task().digest()
