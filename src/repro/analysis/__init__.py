@@ -1,0 +1,47 @@
+"""Invariant-aware static analysis (``repro analyze``).
+
+The repo's three load-bearing contracts — serial-vs-``--jobs N``
+byte-identity, obs-layer inertness over digests and cache keys, and
+sandbox-policy safety of generated code — are enforced dynamically by
+tests.  This package proves them at lint time instead: an AST-based rule
+registry with per-rule severity, ``# repro: allow[rule-id]`` suppressions,
+and three rule families (determinism, obs-inertness, template safety).  See
+DESIGN.md §4.8.
+"""
+
+from repro.analysis.framework import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    analyze_file,
+    analyze_tree,
+    get_rules,
+    has_errors,
+    load_context,
+)
+from repro.analysis.reporters import render_human, render_json, summarize
+
+# importing the rule modules registers their rules
+from repro.analysis import determinism as _determinism  # noqa: F401
+from repro.analysis import obs_inertness as _obs_inertness  # noqa: F401
+from repro.analysis import templates as _templates  # noqa: F401
+
+__all__ = [
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_file",
+    "analyze_tree",
+    "get_rules",
+    "has_errors",
+    "load_context",
+    "render_human",
+    "render_json",
+    "summarize",
+]

@@ -1,0 +1,225 @@
+"""Determinism rules for fabric-worker and digest-path modules.
+
+The execution fabric promises that a sweep run serially and a sweep run with
+``--jobs N`` produce byte-identical artifacts.  That promise rests on worker
+code being a pure function of its payload and on every serialization that
+feeds a digest being canonical.  These rules flag the classic ways that
+promise quietly breaks: filesystem enumeration order, set iteration order,
+wall-clock reads, the process-global RNG, per-process object identity, and
+non-canonical JSON.
+
+Scope is intentionally narrow — the modules that run inside workers or feed
+``Task.digest()`` / cache keys — so that, e.g., the CLI printing a timestamp
+is not a finding but a worker reading one is.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis import astutil
+from repro.analysis.framework import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    FileContext,
+    Finding,
+    Rule,
+    rule,
+)
+
+#: modules that run inside sweep workers or feed digests/cache keys
+DETERMINISM_SCOPE = (
+    "exec/",
+    "benchmark/tasks.py",
+    "cost/tasks.py",
+    "scenarios/engine.py",
+    "graph/",
+)
+
+#: canonical-JSON scope: everywhere a ``json.dumps`` lands in an artifact a
+#: reproduced run is diffed against (result logs, strawman answers, digest
+#: material), not just the worker modules
+JSON_SCOPE = DETERMINISM_SCOPE + (
+    "benchmark/logger.py",
+    "synthesis/engine.py",
+    "techniques/",
+)
+
+#: directory-enumeration calls whose result order is filesystem-dependent
+_LISTING_CALLS = {"listdir", "scandir", "iterdir", "glob", "rglob"}
+
+#: wall-clock reads (monotonic clocks used for telemetry durations are fine)
+_WALLCLOCK_CALLS = {
+    "time.time", "time.time_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "date.today", "datetime.date.today",
+}
+
+#: process-global RNG entry points (a seeded ``random.Random`` is fine)
+_GLOBAL_RANDOM_FUNCS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "triangular",
+}
+
+
+def _sorted_wrapped_args(tree: ast.AST) -> Set[int]:
+    """ids of AST nodes appearing as the first argument of ``sorted(...)``."""
+    wrapped: Set[int] = set()
+    for call in astutil.walk_calls(tree):
+        if astutil.call_name(call) == "sorted" and call.args:
+            wrapped.add(id(call.args[0]))
+    return wrapped
+
+
+@rule("det-unsorted-listing", severity=SEVERITY_ERROR, scope=DETERMINISM_SCOPE,
+      description="directory enumeration whose order reaches the caller unsorted",
+      suggestion="wrap the enumeration in sorted(...) so iteration order "
+                 "does not depend on the filesystem")
+def check_unsorted_listing(rule_: Rule, ctx: FileContext) -> Iterator[Finding]:
+    wrapped = _sorted_wrapped_args(ctx.tree)
+    for call in astutil.walk_calls(ctx.tree):
+        name = astutil.call_name(call)
+        if name in _LISTING_CALLS and id(call) not in wrapped:
+            yield ctx.finding(
+                rule_, call,
+                f"result of {name}() is iterated in filesystem order; "
+                f"serial and --jobs N runs may disagree")
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and astutil.call_name(node) in ("set", "frozenset"):
+        return True
+    return False
+
+
+@rule("det-set-iteration", severity=SEVERITY_ERROR, scope=DETERMINISM_SCOPE,
+      description="iteration over a set expression (hash order is per-process)",
+      suggestion="iterate sorted(...) over the set, or keep insertion order "
+                 "with a dict/list")
+def check_set_iteration(rule_: Rule, ctx: FileContext) -> Iterator[Finding]:
+    wrapped = _sorted_wrapped_args(ctx.tree)
+
+    def flag(node: ast.AST, iterable: ast.AST) -> Iterator[Finding]:
+        if _is_set_expression(iterable) and id(iterable) not in wrapped:
+            yield ctx.finding(
+                rule_, iterable,
+                "iterating a set: string hash order differs per process "
+                "(PYTHONHASHSEED), so any ordered output derived from it "
+                "is nondeterministic")
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield from flag(node, node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for generator in node.generators:
+                yield from flag(node, generator.iter)
+        elif isinstance(node, ast.Call) and astutil.call_name(node) in ("list", "tuple"):
+            if node.args:
+                yield from flag(node, node.args[0])
+
+
+@rule("det-wallclock", severity=SEVERITY_ERROR, scope=DETERMINISM_SCOPE,
+      description="wall-clock read in worker/digest code",
+      suggestion="workers must be pure functions of their payload; pass "
+                 "timestamps in via the payload, or use time.perf_counter() "
+                 "for telemetry-only durations")
+def check_wallclock(rule_: Rule, ctx: FileContext) -> Iterator[Finding]:
+    bare_time_names = {
+        name for name in astutil.from_imports(ctx.tree, "time")
+        if name in ("time", "time_ns")}
+    for call in astutil.walk_calls(ctx.tree):
+        dotted = astutil.dotted_name(call.func)
+        if dotted in _WALLCLOCK_CALLS:
+            yield ctx.finding(
+                rule_, call,
+                f"{dotted}() reads the wall clock; its value differs per "
+                f"run and per process")
+        elif isinstance(call.func, ast.Name) and call.func.id in bare_time_names:
+            yield ctx.finding(
+                rule_, call,
+                f"{call.func.id}() (imported from time) reads the wall clock")
+
+
+@rule("det-unseeded-random", severity=SEVERITY_ERROR, scope=DETERMINISM_SCOPE,
+      description="use of the process-global random generator",
+      suggestion="derive a seeded random.Random(...) instance from payload "
+                 "material instead of the module-level functions")
+def check_unseeded_random(rule_: Rule, ctx: FileContext) -> Iterator[Finding]:
+    bare = astutil.from_imports(ctx.tree, "random") & _GLOBAL_RANDOM_FUNCS
+    for call in astutil.walk_calls(ctx.tree):
+        dotted = astutil.dotted_name(call.func)
+        if dotted and dotted.startswith("random.") \
+                and dotted.split(".", 1)[1] in _GLOBAL_RANDOM_FUNCS:
+            yield ctx.finding(
+                rule_, call,
+                f"{dotted}() draws from the process-global RNG, whose state "
+                f"depends on call order across the whole process")
+        elif isinstance(call.func, ast.Name) and call.func.id in bare:
+            yield ctx.finding(
+                rule_, call,
+                f"{call.func.id}() (imported from random) draws from the "
+                f"process-global RNG")
+
+
+@rule("det-object-identity", severity=SEVERITY_ERROR, scope=DETERMINISM_SCOPE,
+      description="id()/hash() in code whose values may reach payloads or digests",
+      suggestion="use stable keys (addresses, names, content digests via "
+                 "hashlib) instead of per-process object identity")
+def check_object_identity(rule_: Rule, ctx: FileContext) -> Iterator[Finding]:
+    for call in astutil.walk_calls(ctx.tree):
+        if isinstance(call.func, ast.Name) and call.func.id in ("id", "hash"):
+            yield ctx.finding(
+                rule_, call,
+                f"builtin {call.func.id}() is process-dependent "
+                f"(PYTHONHASHSEED / allocator); it must never leak into "
+                f"serialized payloads, digests, or cache keys")
+
+
+@rule("det-env-read", severity=SEVERITY_WARNING, scope=DETERMINISM_SCOPE,
+      description="environment read in worker/digest code (machine-dependent)",
+      suggestion="resolve environment configuration in the parent process "
+                 "and pass it through the payload, so two machines running "
+                 "the same sweep agree byte-for-byte")
+def check_env_read(rule_: Rule, ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Attribute) and node.attr == "environ" \
+                and astutil.dotted_name(node) == "os.environ":
+            yield ctx.finding(
+                rule_, node,
+                "os.environ read in worker/digest scope: behaviour now "
+                "depends on the invoking machine, not the payload")
+        elif isinstance(node, ast.Call) and astutil.dotted_name(node.func) == "os.getenv":
+            yield ctx.finding(
+                rule_, node,
+                "os.getenv(...) in worker/digest scope: behaviour now "
+                "depends on the invoking machine, not the payload")
+
+
+@rule("det-json-sort-keys", severity=SEVERITY_ERROR, scope=JSON_SCOPE,
+      description="json.dumps without sort_keys=True in a digest/artifact path",
+      suggestion="pass sort_keys=True so the serialization is canonical "
+                 "regardless of dict build order")
+def check_json_sort_keys(rule_: Rule, ctx: FileContext) -> Iterator[Finding]:
+    bare_dumps = astutil.from_imports(ctx.tree, "json") & {"dumps"}
+    for call in astutil.walk_calls(ctx.tree):
+        dotted = astutil.dotted_name(call.func)
+        is_dumps = dotted == "json.dumps" or (
+            isinstance(call.func, ast.Name) and call.func.id in bare_dumps)
+        if not is_dumps:
+            continue
+        if any(kw.arg is None for kw in call.keywords):
+            continue  # **kwargs splat: cannot decide statically
+        sort_kw = next((kw for kw in call.keywords if kw.arg == "sort_keys"), None)
+        if sort_kw is None or (isinstance(sort_kw.value, ast.Constant)
+                               and sort_kw.value.value is not True):
+            yield ctx.finding(
+                rule_, call,
+                "json.dumps(...) without sort_keys=True emits keys in dict "
+                "build order; two processes building the same mapping "
+                "differently produce different bytes")

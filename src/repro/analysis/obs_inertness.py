@@ -1,0 +1,149 @@
+"""Obs-inertness rules: telemetry must never perturb results or digests.
+
+PR 6's contract: enabling tracing/metrics changes *nothing* about what a
+sweep computes, digests, or caches.  Three statically checkable consequences:
+
+* ``repro.obs`` is a leaf layer — it may not import the pipeline it
+  observes (``obs-layering``);
+* no value produced by obs code may flow into a task payload or digest
+  input (``obs-payload-write``);
+* the ``raw["obs"]`` wire side-channel is created in exactly two sanctioned
+  places — the parallel executor's ``_to_wire`` (the marker) and the
+  worker's ``run_task`` (the captured telemetry) — anywhere else is a new,
+  unaudited transport (``obs-side-channel``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis import astutil
+from repro.analysis.framework import (
+    SEVERITY_ERROR,
+    FileContext,
+    Finding,
+    Rule,
+    rule,
+)
+
+#: repro sub-packages the obs layer must not depend on
+_LAYERS_ABOVE_OBS = (
+    "repro.exec", "repro.benchmark", "repro.cost", "repro.scenarios",
+    "repro.synthesis", "repro.llm", "repro.core", "repro.cli",
+    "repro.sandbox", "repro.techniques", "repro.graph", "repro.frames",
+    "repro.sqlengine", "repro.apps", "repro.analysis",
+)
+
+#: the only files allowed to create the ``["obs"]`` wire side-channel
+_SIDE_CHANNEL_FILES = ("exec/executors.py", "exec/workers.py")
+
+#: call targets that feed digest/cache-key material
+_DIGEST_SINKS = ("Task", "canonical_payload")
+
+
+@rule("obs-layering", severity=SEVERITY_ERROR, scope=("obs/",),
+      description="repro.obs importing a layer it observes",
+      suggestion="keep repro.obs a leaf: move shared helpers into "
+                 "repro.utils, or invert the dependency")
+def check_obs_layering(rule_: Rule, ctx: FileContext) -> Iterator[Finding]:
+    def forbidden(module: str) -> bool:
+        return any(module == layer or module.startswith(layer + ".")
+                   for layer in _LAYERS_ABOVE_OBS)
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if forbidden(alias.name):
+                    yield ctx.finding(
+                        rule_, node,
+                        f"obs module imports {alias.name!r}; the obs layer "
+                        f"must not depend on the pipeline it observes")
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if forbidden(node.module):
+                yield ctx.finding(
+                    rule_, node,
+                    f"obs module imports from {node.module!r}; the obs layer "
+                    f"must not depend on the pipeline it observes")
+
+
+def _obs_names(tree: ast.AST) -> Set[str]:
+    """Local names in this module that resolve to repro.obs objects."""
+    names = astutil.from_imports(tree, "repro.obs")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module \
+                and node.module.startswith("repro.obs."):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.obs" or alias.name.startswith("repro.obs."):
+                    names.add(alias.asname or alias.name.split(".")[0])
+    return names
+
+
+def _names_in(node: ast.AST, wanted: Set[str]) -> Iterator[ast.Name]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id in wanted:
+            yield child
+
+
+@rule("obs-payload-write", severity=SEVERITY_ERROR,
+      description="obs-layer value flowing into a task payload or digest input",
+      suggestion="telemetry rides the wire-form 'obs' field only; payloads "
+                 "and digest inputs must not mention obs objects")
+def check_obs_payload_write(rule_: Rule, ctx: FileContext) -> Iterator[Finding]:
+    if ctx.relpath.startswith("obs/"):
+        return  # the obs layer itself builds no tasks; covered by obs-layering
+    obs_names = _obs_names(ctx.tree)
+    if not obs_names:
+        return
+    for call in astutil.walk_calls(ctx.tree):
+        name = astutil.call_name(call)
+        if name in _DIGEST_SINKS:
+            for offender in _names_in(call, obs_names):
+                yield ctx.finding(
+                    rule_, offender,
+                    f"obs name {offender.id!r} appears inside a {name}(...) "
+                    f"expression; telemetry must never reach payloads or "
+                    f"digest material")
+        elif isinstance(call.func, ast.Attribute) and call.func.attr == "digest":
+            for offender in _names_in(call, obs_names):
+                yield ctx.finding(
+                    rule_, offender,
+                    f"obs name {offender.id!r} appears in a .digest(...) "
+                    f"call; digests must be a pure function of task "
+                    f"identity")
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript) \
+                        and astutil.dotted_name(target.value) in ("payload",) \
+                        and any(_names_in(node.value, obs_names)):
+                    yield ctx.finding(
+                        rule_, node,
+                        "assignment writes an obs-derived value into a "
+                        "payload mapping")
+
+
+@rule("obs-side-channel", severity=SEVERITY_ERROR,
+      description="creation of an ['obs'] wire field outside the sanctioned sites",
+      suggestion="ship telemetry through the existing side-channel "
+                 "(executors._to_wire marker + workers.run_task capture) "
+                 "instead of inventing a new transport")
+def check_obs_side_channel(rule_: Rule, ctx: FileContext) -> Iterator[Finding]:
+    if ctx.relpath in _SIDE_CHANNEL_FILES:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) \
+                    and astutil.subscript_key(target) == "obs":
+                yield ctx.finding(
+                    rule_, node,
+                    "assignment to a ['obs'] field: the obs wire "
+                    "side-channel may only be created in "
+                    "exec/executors.py (_to_wire) and exec/workers.py "
+                    "(run_task)")

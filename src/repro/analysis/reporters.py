@@ -1,0 +1,53 @@
+"""Render checker findings for humans and for CI (JSON)."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.framework import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+    Rule,
+)
+
+
+def summarize(findings: Sequence[Finding]) -> Dict[str, int]:
+    return {
+        "errors": sum(1 for f in findings if f.severity == SEVERITY_ERROR),
+        "warnings": sum(1 for f in findings if f.severity == SEVERITY_WARNING),
+        "total": len(findings),
+    }
+
+
+def render_human(findings: Sequence[Finding], rules: Sequence[Rule],
+                 show_suggestions: bool = False) -> str:
+    """One line per finding, ruff-style, plus a closing summary."""
+    lines: List[str] = []
+    for finding in findings:
+        lines.append(f"{finding.path}:{finding.line}:{finding.col}: "
+                     f"[{finding.severity}] {finding.rule_id}: {finding.message}")
+        if show_suggestions and finding.suggestion:
+            lines.append(f"    fix: {finding.suggestion}")
+    counts = summarize(findings)
+    if counts["total"] == 0:
+        lines.append(f"repro analyze: clean ({len(rules)} rules)")
+    else:
+        lines.append(f"repro analyze: {counts['errors']} error(s), "
+                     f"{counts['warnings']} warning(s) "
+                     f"({len(rules)} rules)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], rules: Sequence[Rule]) -> str:
+    """Stable JSON document for the CI artifact."""
+    document = {
+        "findings": [f.to_dict() for f in findings],
+        "summary": summarize(findings),
+        "rules": [
+            {"id": r.id, "severity": r.severity, "description": r.description}
+            for r in rules
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,315 @@
+"""Template-safety rules: every emitter template must pass lint, not CI.
+
+The synthesis emitters are tables of ``intent -> program`` templates.  A bad
+template (policy violation, undefined name, malformed SQL) previously
+surfaced only when a benchmark cell happened to exercise that intent inside
+the sandbox.  These rules render every entry of a module's ``TEMPLATES`` /
+``TEMPORAL_TEMPLATES`` table with representative sample parameters and vet
+the program statically:
+
+* Python programs run through the sandbox's :class:`PolicyVisitor` (the
+  exact policy the benchmark enforces at runtime) plus an undefined-name
+  check against the namespace the backend actually provides — ``{G}`` for
+  NetworkX, ``{nodes_df, edges_df}`` for frames (``core.pipeline``), and
+  the ``{snapshots, deltas}`` contract built by
+  :func:`repro.synthesis.temporal.timeline_namespace` for temporal
+  programs — unioned with the sandbox's safe builtins;
+* SQL programs are parsed statement-by-statement with ``repro.sqlengine``.
+
+Any module defining a top-level ``TEMPLATES`` or ``TEMPORAL_TEMPLATES``
+mapping is checked, so a brand-new emitter is covered the moment it exists.
+Fixture/test modules may override detection with ``ANALYSIS_LANGUAGE``
+("python" | "sql") and ``ANALYSIS_STATIC_NAMESPACE`` attributes.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import importlib.util
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.analysis import astutil
+from repro.analysis.framework import (
+    SEVERITY_ERROR,
+    FileContext,
+    Finding,
+    Rule,
+    rule,
+)
+
+#: template-table names that make a module a template module
+_TABLE_NAMES = ("TEMPLATES", "TEMPORAL_TEMPLATES")
+
+#: sample parameter values covering every parameter any template reads;
+#: extras are ignored (Intent.param is a lookup), so one table serves all
+SAMPLE_PARAMS: Dict[str, object] = {
+    "prefix": "10.0", "type_name": "server", "source": "10.0.0.1",
+    "target": "10.0.0.2", "switch": "sw-1", "entity_type": "EK_PACKET_SWITCH",
+    "control_point": "cp-1", "rack": "rack-1", "group": "srlg-1",
+    "key": "bytes", "value": "production", "k": 3, "threshold": 1000,
+    "clusters": 2, "name": "new-switch-1", "capacity": 100,
+    "at": 1.0, "since": 0.0, "until": 2.0, "start": 0.0, "end": 2.0,
+    "attribute": "capacity_gbps",
+}
+
+#: static sandbox namespaces per backend (mirrors core.pipeline._execute_python)
+_STATIC_NAMESPACES: Dict[str, FrozenSet[str]] = {
+    "networkx_emitter.py": frozenset({"G"}),
+    "frames_emitter.py": frozenset({"nodes_df", "edges_df"}),
+}
+
+#: SQL emitters, keyed by module basename
+_SQL_MODULES = ("sql_emitter.py",)
+
+#: the answer variable every program is allowed to create/read
+_RESULT_VARIABLE = "result"
+
+
+def _safe_builtin_names() -> FrozenSet[str]:
+    from repro.sandbox.executor import _SAFE_BUILTIN_NAMES
+    return frozenset(_SAFE_BUILTIN_NAMES) | {"__import__"}
+
+
+def _temporal_namespace_names(backend: str = "networkx") -> FrozenSet[str]:
+    """The temporal namespace keys, derived from synthesis.temporal itself."""
+    from repro.synthesis.temporal import timeline_namespace
+    return frozenset(timeline_namespace([], backend))
+
+
+@dataclass(frozen=True)
+class RenderedTemplate:
+    """One template rendered with sample parameters."""
+
+    intent_name: str
+    kind: str          # "static" | "temporal"
+    code: str
+    line: int          # definition line in the template module
+
+
+@dataclass
+class TemplateModule:
+    """A loaded template module plus everything the rules need."""
+
+    language: str
+    static_namespace: FrozenSet[str]
+    temporal_namespace: FrozenSet[str]
+    rendered: List[RenderedTemplate]
+    errors: List[Tuple[int, str]]  # (line, message) load/render failures
+
+
+def _has_template_table(tree: ast.AST) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in _TABLE_NAMES:
+                    return True
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id in _TABLE_NAMES:
+                return True
+    return False
+
+
+def _table_line(tree: ast.AST, table_name: str) -> int:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == table_name:
+                    return node.lineno
+    return 1
+
+
+def _load_module(path: Path):
+    digest = hashlib.sha256(str(path).encode("utf-8")).hexdigest()[:12]
+    spec = importlib.util.spec_from_file_location(
+        f"_repro_analysis_templates_{digest}", path)
+    if spec is None or spec.loader is None:  # pragma: no cover - defensive
+        raise ImportError(f"cannot load {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_MODULE_CACHE: Dict[str, TemplateModule] = {}
+
+
+def load_template_module(ctx: FileContext) -> TemplateModule:
+    """Render every template in *ctx*'s module (memoized per path)."""
+    cache_key = str(ctx.path)
+    if cache_key in _MODULE_CACHE:
+        return _MODULE_CACHE[cache_key]
+
+    from repro.synthesis.intents import Intent
+
+    basename = ctx.path.name
+    rendered: List[RenderedTemplate] = []
+    errors: List[Tuple[int, str]] = []
+    language = "sql" if basename in _SQL_MODULES else "python"
+    static_ns = _STATIC_NAMESPACES.get(basename, frozenset())
+    temporal_ns = _temporal_namespace_names()
+    try:
+        module = _load_module(ctx.path)
+    except Exception as error:  # noqa: BLE001 - reported as a finding
+        errors.append((1, f"template module failed to load: "
+                          f"{type(error).__name__}: {error}"))
+        result = TemplateModule(language, static_ns, temporal_ns, rendered, errors)
+        _MODULE_CACHE[cache_key] = result
+        return result
+
+    language = getattr(module, "ANALYSIS_LANGUAGE", language)
+    override_ns = getattr(module, "ANALYSIS_STATIC_NAMESPACE", None)
+    if override_ns is not None:
+        static_ns = frozenset(override_ns)
+
+    for table_name, kind in (("TEMPLATES", "static"),
+                             ("TEMPORAL_TEMPLATES", "temporal")):
+        table = getattr(module, table_name, None)
+        if not isinstance(table, dict):
+            continue
+        table_line = _table_line(ctx.tree, table_name)
+        for intent_name in sorted(table):
+            template = table[intent_name]
+            line = table_line
+            if callable(template):
+                line = getattr(getattr(template, "__code__", None),
+                               "co_firstlineno", table_line)
+                try:
+                    code = template(Intent.create(intent_name, **SAMPLE_PARAMS))
+                except Exception as error:  # noqa: BLE001 - reported as a finding
+                    errors.append((line, f"template {intent_name!r} ({kind}) "
+                                         f"failed to render with sample "
+                                         f"parameters: "
+                                         f"{type(error).__name__}: {error}"))
+                    continue
+            else:
+                code = template
+            if not isinstance(code, str):
+                errors.append((line, f"template {intent_name!r} ({kind}) "
+                                     f"rendered a {type(code).__name__}, "
+                                     f"expected a program string"))
+                continue
+            rendered.append(RenderedTemplate(intent_name, kind, code, line))
+
+    result = TemplateModule(language, static_ns, temporal_ns, rendered, errors)
+    _MODULE_CACHE[cache_key] = result
+    return result
+
+
+def clear_template_cache() -> None:
+    """Drop memoized template modules (test isolation hook)."""
+    _MODULE_CACHE.clear()
+
+
+def _parse_program(template: RenderedTemplate) -> Optional[ast.AST]:
+    try:
+        return ast.parse(template.code)
+    except SyntaxError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# rules
+# ---------------------------------------------------------------------------
+@rule("template-policy", severity=SEVERITY_ERROR,
+      description="emitter template violating the sandbox policy",
+      suggestion="templates must satisfy the same SandboxPolicy the "
+                 "benchmark enforces at runtime — fix the template, do not "
+                 "widen the policy")
+def check_template_policy(rule_: Rule, ctx: FileContext) -> Iterator[Finding]:
+    if not _has_template_table(ctx.tree):
+        return
+    from repro.sandbox.policy import PolicyVisitor, SandboxPolicy
+
+    module = load_template_module(ctx)
+    for line, message in module.errors:
+        yield ctx.finding(rule_, None, message, line=line, col=0)
+    if module.language != "python":
+        return
+    policy = SandboxPolicy()
+    for template in module.rendered:
+        tree = _parse_program(template)
+        if tree is None:
+            yield ctx.finding(
+                rule_, None,
+                f"template {template.intent_name!r} ({template.kind}) "
+                f"renders a program with a syntax error",
+                line=template.line, col=0)
+            continue
+        visitor = PolicyVisitor(policy)
+        visitor.visit(tree)
+        for violation in visitor.violations:
+            yield ctx.finding(
+                rule_, None,
+                f"template {template.intent_name!r} ({template.kind}): "
+                f"{violation}",
+                line=template.line, col=0)
+
+
+@rule("template-undefined-name", severity=SEVERITY_ERROR,
+      description="emitter template referencing a name the sandbox won't provide",
+      suggestion="programs may only touch the backend namespace (G / "
+                 "nodes_df+edges_df / snapshots+deltas), sandbox builtins, "
+                 "allowed imports, and names they bind themselves")
+def check_template_undefined_names(rule_: Rule, ctx: FileContext) -> Iterator[Finding]:
+    if not _has_template_table(ctx.tree):
+        return
+    module = load_template_module(ctx)
+    if module.language != "python":
+        return
+    builtins_ = _safe_builtin_names()
+    for template in module.rendered:
+        tree = _parse_program(template)
+        if tree is None:
+            continue  # template-policy reports the syntax error
+        namespace = (module.temporal_namespace if template.kind == "temporal"
+                     else module.static_namespace)
+        allowed = namespace | builtins_ | {_RESULT_VARIABLE}
+        bound = astutil.assigned_names(tree)
+        for name, node in sorted(astutil.loaded_names(tree).items()):
+            if name in bound or name in allowed:
+                continue
+            yield ctx.finding(
+                rule_, None,
+                f"template {template.intent_name!r} ({template.kind}) reads "
+                f"undefined name {name!r} (program line {node.lineno}); the "
+                f"{'temporal' if template.kind == 'temporal' else 'static'} "
+                f"sandbox namespace provides only "
+                f"{sorted(namespace) or '[]'}",
+                line=template.line, col=0)
+
+
+@rule("template-sql", severity=SEVERITY_ERROR,
+      description="SQL emitter template the sqlengine cannot parse",
+      suggestion="templates must stay inside the supported SQL subset "
+                 "(see repro.sqlengine.parser); unsupported intents should "
+                 "be omitted from TEMPLATES, not approximated")
+def check_template_sql(rule_: Rule, ctx: FileContext) -> Iterator[Finding]:
+    if not _has_template_table(ctx.tree):
+        return
+    module = load_template_module(ctx)
+    if module.language != "sql":
+        return
+    from repro.sqlengine.errors import SqlError
+    from repro.sqlengine.parser import parse_statement
+
+    for template in module.rendered:
+        statements = [part.strip() for part in template.code.split(";")
+                      if part.strip()]
+        if not statements:
+            yield ctx.finding(
+                rule_, None,
+                f"template {template.intent_name!r} renders no SQL "
+                f"statements",
+                line=template.line, col=0)
+            continue
+        for statement in statements:
+            try:
+                parse_statement(statement)
+            except SqlError as error:
+                yield ctx.finding(
+                    rule_, None,
+                    f"template {template.intent_name!r}: sqlengine cannot "
+                    f"parse {statement[:60]!r}...: {error}",
+                    line=template.line, col=0)

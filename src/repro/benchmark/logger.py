@@ -117,7 +117,8 @@ class ResultsLogger:
     def save(self, path) -> Path:
         """Write the full log as JSON to *path*."""
         path = Path(path)
-        path.write_text(json.dumps(self.to_records(), indent=2), encoding="utf-8")
+        path.write_text(json.dumps(self.to_records(), indent=2, sort_keys=True),
+                        encoding="utf-8")
         return path
 
     def render_summary(self) -> str:

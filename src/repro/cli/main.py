@@ -291,6 +291,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="verify the on-disk corpus against freshly replayed "
                            "digests instead of rewriting it")
 
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="run the invariant checker (determinism / obs-inertness / "
+             "template safety) over the source tree")
+    analyze.add_argument("paths", nargs="*", metavar="PATH",
+                         help="files or package roots to check "
+                              "(default: the installed repro package)")
+    analyze.add_argument("--rules", default=None, metavar="ID[,ID...]",
+                         help="comma-separated rule ids to run "
+                              "(default: every registered rule)")
+    analyze.add_argument("--format", dest="report_format",
+                         choices=("human", "json"), default="human",
+                         help="report format (json is what CI archives)")
+    analyze.add_argument("--fix-suggestions", action="store_true",
+                         help="include a fix hint under each finding "
+                              "(human format; JSON always carries them)")
+    analyze.add_argument("--list-rules", action="store_true",
+                         help="list registered rules and exit")
+
     obs = subparsers.add_parser(
         "obs", help="analyze recorded telemetry: reports, run ledger, diffs")
     obs_sub = obs.add_subparsers(dest="obs_action")
@@ -667,6 +686,41 @@ def _cmd_obs_ledger(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Run the invariant checker; exit 1 on any error-severity finding."""
+    from repro import analysis
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
+    rules = analysis.get_rules(rule_ids)
+
+    if args.list_rules:
+        for checker_rule in rules:
+            print(f"{checker_rule.id:28s} [{checker_rule.severity}] "
+                  f"{checker_rule.description}")
+        return 0
+
+    if args.paths:
+        roots = [Path(path) for path in args.paths]
+    else:
+        import repro
+        roots = [Path(repro.__file__).parent]
+    findings = []
+    for root in roots:
+        if not root.exists():
+            raise ValidationError(f"no such file or directory: {root}")
+        findings.extend(analysis.analyze_tree(root, rules=rules))
+    findings.sort(key=lambda finding: finding.sort_key())
+
+    if args.report_format == "json":
+        print(analysis.render_json(findings, rules))
+    else:
+        print(analysis.render_human(findings, rules,
+                                    show_suggestions=args.fix_suggestions))
+    return 1 if analysis.has_errors(findings) else 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     if args.obs_action == "report":
         return _cmd_obs_report(args)
@@ -684,6 +738,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     args.raw_argv = list(argv) if argv is not None else list(sys.argv[1:])
     handlers = {
+        "analyze": _cmd_analyze,
         "ask": _cmd_ask,
         "benchmark": _cmd_benchmark,
         "cost": _cmd_cost,

@@ -43,7 +43,9 @@ _STORE_COUNTER = itertools.count(1)
 
 
 def _store_sequence() -> Tuple[int, int]:
-    return (time.time_ns(), next(_STORE_COUNTER))
+    # recency metadata only — ordered LRU bookkeeping that never feeds
+    # digests, payloads, or cached values
+    return (time.time_ns(), next(_STORE_COUNTER))  # repro: allow[det-wallclock]
 
 
 class ResultCache:

@@ -61,7 +61,8 @@ class Task:
         try:
             canonical_payload(self.payload)
         except (TypeError, ValueError) as error:
-            raise type(error)(f"task {self.key!r} payload is not serializable: {error}")
+            raise type(error)(
+                f"task {self.key!r} payload is not serializable: {error}") from error
 
     def digest(self) -> str:
         """Content key: identical (key, fn, payload) => identical digest.

@@ -41,9 +41,10 @@ def resolve_worker(reference: str) -> Callable[[Dict[str, Any]], Any]:
     module = importlib.import_module(module_name)
     try:
         return getattr(module, function_name)
-    except AttributeError:
+    except AttributeError as error:
         raise ValueError(
-            f"module {module_name!r} has no worker function {function_name!r}")
+            f"module {module_name!r} has no worker function "
+            f"{function_name!r}") from error
 
 
 # ---------------------------------------------------------------------------

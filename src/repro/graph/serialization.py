@@ -11,7 +11,7 @@ Two formats are supported:
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.graph.model import PropertyGraph
 from repro.utils.validation import require
@@ -58,7 +58,7 @@ def graph_from_dict(payload: Dict[str, Any]) -> PropertyGraph:
     return graph
 
 
-def graph_to_json(graph: PropertyGraph, indent: int = None) -> str:
+def graph_to_json(graph: PropertyGraph, indent: Optional[int] = None) -> str:
     """Serialize a graph to a JSON string (the strawman prompt payload)."""
     return json.dumps(graph_to_dict(graph), indent=indent, sort_keys=True, default=str)
 
@@ -68,7 +68,8 @@ def graph_from_json(text: str) -> PropertyGraph:
     return graph_from_dict(json.loads(text))
 
 
-def graph_to_edge_list(graph: PropertyGraph, weight_keys: List[str] = None) -> List[Dict[str, Any]]:
+def graph_to_edge_list(graph: PropertyGraph,
+                       weight_keys: Optional[List[str]] = None) -> List[Dict[str, Any]]:
     """Flatten the graph into a list of edge records.
 
     Each record contains ``source``, ``target`` and, when *weight_keys* is

@@ -96,9 +96,10 @@ class RunLedger:
             entry = json.loads(path.read_text(encoding="utf-8"))
         except FileNotFoundError:
             raise ValidationError(
-                f"no ledger entry {entry_id!r} in {self.directory}")
+                f"no ledger entry {entry_id!r} in {self.directory}") from None
         except (OSError, json.JSONDecodeError) as error:
-            raise ValidationError(f"cannot load ledger entry {path}: {error}")
+            raise ValidationError(
+                f"cannot load ledger entry {path}: {error}") from error
         if entry.get("format") != LEDGER_FORMAT:
             raise ValidationError(
                 f"{path} is not a ledger entry "

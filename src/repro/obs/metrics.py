@@ -270,7 +270,7 @@ def default_registry() -> MetricsRegistry:
 
 def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
     """Install *registry* as the process default; returns the previous one."""
-    global _default_registry
+    global _default_registry  # noqa: PLW0603 - process-global install point
     previous = _default_registry
     _default_registry = registry
     return previous

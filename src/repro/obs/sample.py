@@ -52,12 +52,12 @@ _sampling_enabled = False
 
 
 def enable_sampling() -> None:
-    global _sampling_enabled
+    global _sampling_enabled  # noqa: PLW0603 - process-global toggle
     _sampling_enabled = True
 
 
 def disable_sampling() -> None:
-    global _sampling_enabled
+    global _sampling_enabled  # noqa: PLW0603 - process-global toggle
     _sampling_enabled = False
 
 

@@ -160,7 +160,7 @@ def get_tracer() -> Tracer:
 
 def set_tracer(tracer: Tracer) -> Tracer:
     """Install *tracer* as the process tracer; returns the previous one."""
-    global _tracer
+    global _tracer  # noqa: PLW0603 - process-global install point
     previous = _tracer
     _tracer = tracer
     return previous

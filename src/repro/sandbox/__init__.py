@@ -16,12 +16,20 @@ interpreter:
   error) is captured in a :class:`~repro.sandbox.executor.ExecutionOutcome`.
 """
 
-from repro.sandbox.policy import SandboxPolicy, PolicyViolation, validate_source
+from repro.sandbox.policy import (
+    PolicyFinding,
+    PolicyViolation,
+    PolicyVisitor,
+    SandboxPolicy,
+    validate_source,
+)
 from repro.sandbox.executor import ExecutionOutcome, ExecutionSandbox, SandboxTimeout
 
 __all__ = [
     "SandboxPolicy",
+    "PolicyFinding",
     "PolicyViolation",
+    "PolicyVisitor",
     "validate_source",
     "ExecutionOutcome",
     "ExecutionSandbox",

@@ -13,6 +13,24 @@ class PolicyViolation(ValidationError):
     """Raised when generated code violates the sandbox policy."""
 
 
+@dataclass(frozen=True)
+class PolicyFinding:
+    """One policy violation, anchored to its source location.
+
+    ``line`` is 1-based and ``col`` 0-based, matching :mod:`ast`; both the
+    sandbox rejection message and ``repro analyze`` render them, so a
+    violation in generated code and a violation in a checked-in template
+    point at the same place.
+    """
+
+    line: int
+    col: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"line {self.line}, col {self.col}: {self.message}"
+
+
 #: modules that generated code is allowed to import
 DEFAULT_ALLOWED_IMPORTS: FrozenSet[str] = frozenset({
     "networkx", "math", "statistics", "collections", "itertools", "functools",
@@ -56,44 +74,55 @@ class SandboxPolicy:
         )
 
 
-class _PolicyVisitor(ast.NodeVisitor):
-    """Collect policy violations over the whole AST (not just the first)."""
+class PolicyVisitor(ast.NodeVisitor):
+    """Collect policy violations over the whole AST (not just the first).
+
+    Also reused by :mod:`repro.analysis` to statically vet the checked-in
+    emitter templates, so violations carry structured locations
+    (:class:`PolicyFinding`) rather than bare strings.
+    """
 
     def __init__(self, policy: SandboxPolicy) -> None:
         self.policy = policy
-        self.violations: List[str] = []
+        self.violations: List[PolicyFinding] = []
+
+    def _record(self, node: ast.AST, message: str) -> None:
+        self.violations.append(PolicyFinding(
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message))
 
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             root = alias.name.split(".")[0]
             if root not in self.policy.allowed_imports:
-                self.violations.append(f"import of module {alias.name!r} is not allowed")
+                self._record(node, f"import of module {alias.name!r} is not allowed")
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         root = (node.module or "").split(".")[0]
         if root not in self.policy.allowed_imports:
-            self.violations.append(f"import from module {node.module!r} is not allowed")
+            self._record(node, f"import from module {node.module!r} is not allowed")
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:
         name = _call_name(node)
         if name in self.policy.forbidden_calls:
-            self.violations.append(f"call to {name!r} is not allowed")
+            self._record(node, f"call to {name!r} is not allowed")
         self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
         if node.attr in self.policy.forbidden_attributes:
-            self.violations.append(f"access to attribute {node.attr!r} is not allowed")
+            self._record(node, f"access to attribute {node.attr!r} is not allowed")
         self.generic_visit(node)
 
     def visit_Name(self, node: ast.Name) -> None:
         if node.id in ("__builtins__",):
-            self.violations.append("access to __builtins__ is not allowed")
+            self._record(node, "access to __builtins__ is not allowed")
         self.generic_visit(node)
 
     def visit_Global(self, node: ast.Global) -> None:
-        self.violations.append("the 'global' statement is not allowed")
+        self._record(node, "the 'global' statement is not allowed")
 
     def visit_Nonlocal(self, node: ast.Nonlocal) -> None:  # noqa: D102
         self.generic_visit(node)
@@ -102,6 +131,10 @@ class _PolicyVisitor(ast.NodeVisitor):
         # `with open(...)` is already caught by the call check; other context
         # managers over exposed objects are fine.
         self.generic_visit(node)
+
+
+#: backward-compatible private alias (pre-analysis callers)
+_PolicyVisitor = PolicyVisitor
 
 
 def _call_name(node: ast.Call) -> Optional[str]:
@@ -126,7 +159,7 @@ def validate_source(source: str, policy: Optional[SandboxPolicy] = None) -> None
             f"generated code has {len(lines)} lines; the policy allows "
             f"{policy.max_source_lines}")
     tree = ast.parse(source)
-    visitor = _PolicyVisitor(policy)
+    visitor = PolicyVisitor(policy)
     visitor.visit(tree)
     if visitor.violations:
-        raise PolicyViolation("; ".join(visitor.violations))
+        raise PolicyViolation("; ".join(str(v) for v in visitor.violations))

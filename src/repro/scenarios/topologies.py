@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.graph import PropertyGraph
 from repro.utils.rng import DeterministicRng
@@ -59,7 +59,7 @@ def get_family(name: str) -> TopologyFamily:
     return _FAMILIES[name]
 
 
-def build_topology(family: str, params: Dict[str, Any] = None,
+def build_topology(family: str, params: Optional[Dict[str, Any]] = None,
                    seed: int = 7) -> PropertyGraph:
     """Build one topology from a family name, parameter overrides and a seed.
 

@@ -162,7 +162,7 @@ class CodeSynthesisEngine:
             payload["value"] = outcome.value
         if outcome.kind in ("graph", "both") and outcome.graph is not None:
             payload["graph"] = graph_to_dict(outcome.graph)
-        return json.dumps(payload, default=str)
+        return json.dumps(payload, default=str, sort_keys=True)
 
     def reference_outcome(self, query: Union[str, Intent],
                           graph: PropertyGraph) -> ReferenceOutcome:

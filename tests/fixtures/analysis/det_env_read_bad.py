@@ -1,0 +1,9 @@
+"""BAD: worker behaviour depends on the invoking machine's environment."""
+
+import os
+
+
+def run(payload):
+    mode = os.environ.get("REPRO_MODE", "fast")
+    limit = int(os.getenv("REPRO_LIMIT", "10"))
+    return {"mode": mode, "values": payload["values"][:limit]}

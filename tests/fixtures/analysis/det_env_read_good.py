@@ -1,0 +1,7 @@
+"""GOOD: configuration resolved by the parent and shipped in the payload."""
+
+
+def run(payload):
+    mode = payload.get("mode", "fast")
+    limit = int(payload.get("limit", 10))
+    return {"mode": mode, "values": payload["values"][:limit]}

@@ -1,0 +1,9 @@
+"""BAD: digest material serialized in dict build order."""
+
+import hashlib
+import json
+
+
+def digest(payload):
+    blob = json.dumps(payload)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,9 @@
+"""GOOD: canonical serialization regardless of dict build order."""
+
+import hashlib
+import json
+
+
+def digest(payload):
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

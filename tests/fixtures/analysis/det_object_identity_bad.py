@@ -1,0 +1,5 @@
+"""BAD: per-process object identity leaking into a serialized record."""
+
+
+def record(node):
+    return {"node_key": id(node), "bucket": hash(node.address) % 16}

@@ -1,0 +1,8 @@
+"""GOOD: stable content-derived keys."""
+
+import hashlib
+
+
+def record(node):
+    digest = hashlib.sha256(node.address.encode("utf-8")).hexdigest()
+    return {"node_key": node.address, "bucket": int(digest[:2], 16) % 16}

@@ -1,0 +1,12 @@
+"""BAD: ordered output derived from set iteration (per-process hash order)."""
+
+
+def node_labels(payload):
+    return [key for key in set(payload)]
+
+
+def render(edges):
+    lines = []
+    for pair in {(a, b) for a, b in edges}:
+        lines.append(f"{pair[0]} -> {pair[1]}")
+    return lines

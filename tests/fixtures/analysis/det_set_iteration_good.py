@@ -1,0 +1,15 @@
+"""GOOD: sets are sorted (or used only for membership) before ordering matters."""
+
+
+def node_labels(payload):
+    return sorted(set(payload))
+
+
+def render(edges):
+    seen = set()
+    lines = []
+    for a, b in edges:  # insertion order, deduplicated via membership only
+        if (a, b) not in seen:
+            seen.add((a, b))
+            lines.append(f"{a} -> {b}")
+    return lines

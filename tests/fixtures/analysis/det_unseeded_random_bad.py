@@ -1,0 +1,7 @@
+"""BAD: worker draws from the process-global RNG."""
+
+import random
+
+
+def pick(payload):
+    return random.choice(payload["candidates"])

@@ -1,0 +1,8 @@
+"""GOOD: a seeded RNG derived from payload material."""
+
+import random
+
+
+def pick(payload):
+    rng = random.Random(payload["seed"])
+    return rng.choice(payload["candidates"])

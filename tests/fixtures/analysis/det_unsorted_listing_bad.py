@@ -1,0 +1,13 @@
+"""BAD: directory enumeration order reaches the caller unsorted."""
+
+import os
+from pathlib import Path
+
+
+def entry_names(root):
+    return [name for name in os.listdir(root)]
+
+
+def pickle_paths(root):
+    for path in Path(root).glob("*/*.pkl"):
+        yield path

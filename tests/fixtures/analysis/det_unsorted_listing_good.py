@@ -1,0 +1,12 @@
+"""GOOD: every directory enumeration is sorted before iteration."""
+
+import os
+from pathlib import Path
+
+
+def entry_names(root):
+    return sorted(os.listdir(root))
+
+
+def pickle_paths(root):
+    return iter(sorted(Path(root).glob("*/*.pkl")))

@@ -1,0 +1,9 @@
+"""BAD: worker result depends on the wall clock."""
+
+import time
+from datetime import datetime
+
+
+def run(payload):
+    return {"value": payload["x"], "stamp": time.time(),
+            "day": datetime.now().isoformat()}

@@ -1,0 +1,10 @@
+"""GOOD: monotonic duration for telemetry; any timestamp rides the payload."""
+
+import time
+
+
+def run(payload):
+    started = time.perf_counter()
+    value = payload["x"] * 2
+    return {"value": value, "stamp": payload["stamp"],
+            "duration_s": time.perf_counter() - started}

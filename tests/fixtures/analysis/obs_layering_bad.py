@@ -1,0 +1,11 @@
+"""BAD: obs-layer module importing the pipeline it observes.
+
+Only ever analyzed with a relpath under ``obs/`` — never imported.
+"""
+
+from repro.exec.task import Task
+from repro.benchmark import BenchmarkRunner
+
+
+def describe(task: Task, runner: BenchmarkRunner):
+    return {"task": task.key, "runner": type(runner).__name__}

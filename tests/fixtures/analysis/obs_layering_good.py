@@ -1,0 +1,12 @@
+"""GOOD: obs-layer module depending only on the stdlib and repro.utils."""
+
+import json
+
+from repro.utils.validation import ValidationError
+
+
+def load_entry(text):
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValidationError(f"bad ledger entry: {error}") from error

@@ -1,0 +1,16 @@
+"""BAD: telemetry flowing into a task payload (and digest material)."""
+
+from repro.exec.task import Task, canonical_payload
+from repro.obs import default_registry
+
+
+def make_task(key):
+    return Task(
+        key=key,
+        fn="repro.benchmark.tasks:run_benchmark_cell",
+        payload={"runs": default_registry().counter("sweep.runs").value})
+
+
+def digest_material(payload):
+    return canonical_payload({"payload": payload,
+                              "metrics": default_registry().snapshot()})

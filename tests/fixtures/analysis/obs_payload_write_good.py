@@ -1,0 +1,14 @@
+"""GOOD: telemetry recorded around the task, never inside it."""
+
+from repro.exec.task import Task
+from repro.obs import default_registry, span
+
+
+def make_task(key):
+    with span("sweep.build", attrs={"key": key}):
+        task = Task(
+            key=key,
+            fn="repro.benchmark.tasks:run_benchmark_cell",
+            payload={"cell": key})
+    default_registry().counter("sweep.tasks").inc()
+    return task

@@ -1,0 +1,6 @@
+"""BAD: inventing a second obs wire transport outside the sanctioned sites."""
+
+
+def attach_telemetry(raw, capture):
+    raw["obs"] = capture.to_wire()
+    return raw

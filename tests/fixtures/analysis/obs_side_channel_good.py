@@ -1,0 +1,6 @@
+"""GOOD: worker results carry only the result contract fields."""
+
+
+def run(payload):
+    return {"key": payload["key"], "ok": True,
+            "value": payload["x"] * 2, "error": None}

@@ -1,0 +1,8 @@
+"""BAD: a template whose program violates the sandbox policy."""
+
+ANALYSIS_STATIC_NAMESPACE = ("G",)
+
+TEMPLATES = {
+    "leak_file": "result = open('/etc/passwd').read()\n",
+    "shell_out": "import subprocess\nresult = subprocess.run(['ls'])\n",
+}

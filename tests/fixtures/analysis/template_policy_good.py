@@ -1,0 +1,11 @@
+"""GOOD: templates inside both the sandbox policy and the namespace."""
+
+ANALYSIS_STATIC_NAMESPACE = ("G",)
+
+TEMPLATES = {
+    "count_nodes": "result = G.number_of_nodes()\n",
+    "heavy_edges": (
+        "import math\n"
+        "result = sorted(n for n in G.nodes if not math.isnan(0.0))\n"
+    ),
+}

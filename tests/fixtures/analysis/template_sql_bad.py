@@ -1,0 +1,8 @@
+"""BAD: SQL templates the sqlengine cannot parse (or that render nothing)."""
+
+ANALYSIS_LANGUAGE = "sql"
+
+TEMPLATES = {
+    "misspelled": "SELEC address FROM nodes",
+    "empty": "   ",
+}

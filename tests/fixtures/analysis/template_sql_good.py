@@ -1,0 +1,9 @@
+"""GOOD: SQL templates inside the supported sqlengine subset."""
+
+ANALYSIS_LANGUAGE = "sql"
+
+TEMPLATES = {
+    "count_nodes": "SELECT COUNT(*) AS node_count FROM nodes",
+    "cleanup": "DELETE FROM edges WHERE bytes < 10; "
+               "SELECT COUNT(*) AS remaining FROM edges",
+}

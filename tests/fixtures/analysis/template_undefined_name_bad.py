@@ -1,0 +1,8 @@
+"""BAD: a template reading a name the sandbox namespace will not provide."""
+
+ANALYSIS_STATIC_NAMESPACE = ("nodes_df", "edges_df")
+
+TEMPLATES = {
+    "typo": "result = len(nodes_dff)\n",
+    "missing_helper": "result = summarize(edges_df)\n",
+}

@@ -1,0 +1,12 @@
+"""GOOD: templates touching only the namespace, builtins, and local bindings."""
+
+ANALYSIS_STATIC_NAMESPACE = ("nodes_df", "edges_df")
+
+TEMPLATES = {
+    "count": "result = len(nodes_df)\n",
+    "helper": (
+        "def total(frame):\n"
+        "    return sum(frame['bytes'].tolist())\n"
+        "result = total(edges_df)\n"
+    ),
+}

@@ -23,6 +23,7 @@ from repro.graph import (
 from repro.graph.convert import from_frames, from_sql_database
 from repro.graph.diff import ABSENT
 from repro.graph.stats import degree_histogram, top_nodes_by_weight
+from repro.utils.validation import ValidationError
 
 
 def build_sample() -> PropertyGraph:
@@ -105,7 +106,7 @@ class TestPropertyGraphBasics:
         assert graph.node_attributes("a")["type"] == "host"
 
     def test_subgraph_unknown_node(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             build_sample().subgraph(["a", "zz"])
 
     def test_copy_is_deep(self):
@@ -209,7 +210,7 @@ class TestSerialization:
         assert graphs_equal(graph, graph_from_json(graph_to_json(graph)))
 
     def test_invalid_payload_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             graph_from_dict({"nodes": [{}]})
 
     def test_edge_list_projection(self):

@@ -47,6 +47,29 @@ class TestPolicy:
         with pytest.raises(SyntaxError):
             validate_source("def broken(:")
 
+    def test_violation_messages_carry_line_and_column(self):
+        with pytest.raises(PolicyViolation, match=r"line 2, col 0: import of "
+                                                  r"module 'os'"):
+            validate_source("x = 1\nimport os\n")
+
+    def test_multiple_violations_each_located(self):
+        source = "import os\nresult = open('x')\n"
+        with pytest.raises(PolicyViolation) as excinfo:
+            validate_source(source)
+        message = str(excinfo.value)
+        assert "line 1, col 0" in message
+        assert "line 2, col 9" in message
+
+    def test_policy_visitor_collects_structured_findings(self):
+        import ast
+
+        from repro.sandbox import PolicyVisitor, SandboxPolicy
+
+        visitor = PolicyVisitor(SandboxPolicy())
+        visitor.visit(ast.parse("import os\nx = eval('1')\n"))
+        assert [(v.line, v.col) for v in visitor.violations] == [(1, 0), (2, 4)]
+        assert "eval" in visitor.violations[1].message
+
     def test_with_extra_imports(self):
         policy = SandboxPolicy().with_extra_imports("scipy")
         validate_source("import scipy", policy)

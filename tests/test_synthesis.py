@@ -22,6 +22,7 @@ from repro.synthesis import (
     parse_query,
 )
 from repro.synthesis.reference import evaluate_reference, supported_reference_intents
+from repro.utils.validation import ValidationError
 
 ENGINE = CodeSynthesisEngine()
 ALL_QUERIES = traffic_queries() + malt_queries()
@@ -132,7 +133,7 @@ class TestReferenceSemantics:
             graph.node_attributes(least)["capacity"] + 100
 
     def test_unknown_intent_rejected(self, traffic_app):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             evaluate_reference(traffic_app.graph, Intent.create("no_such_intent"))
 
 
