@@ -28,7 +28,7 @@ import time
 
 from helpers import RESULTS_DIR
 from repro.benchmark.runner import BenchmarkConfig, BenchmarkRunner
-from repro.exec import ExecutionOptions
+from repro.exec import ExecutorPolicy
 
 #: per-cell simulated provider round trip (seconds) for the latency regime;
 #: tiny compared to real API calls (hundreds of ms) but >> per-cell compute
@@ -40,7 +40,9 @@ JOB_COUNTS = (1, 2, 4)
 def _sweep(jobs: int, latency_s: float):
     """Run the fixed suite once; returns (wall_seconds, rendered_tables)."""
     config = BenchmarkConfig(simulated_api_latency_s=latency_s)
-    runner = BenchmarkRunner(config, execution=ExecutionOptions(jobs=jobs))
+    # this bench tracks the *process pool* specifically (jobs=1 resolves serial)
+    runner = BenchmarkRunner(config, policy=ExecutorPolicy(mode="processes",
+                                                           jobs=jobs))
     start = time.perf_counter()
     reports = runner.run_scenario_suite()
     wall = time.perf_counter() - start

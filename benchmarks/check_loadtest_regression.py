@@ -1,0 +1,129 @@
+"""CI serving gate: fail when the served query path regresses under load.
+
+The smoke job boots ``repro serve``, replays a short Zipf mix with
+``repro loadtest --json``, and this script compares the resulting report
+against the committed baseline (``benchmarks/results/loadtest_baseline.
+json``) under the same noise-band rules as the span gate
+(``check_span_regression.py``):
+
+* client-side **p95 latency** may grow at most ``--limit``x over baseline,
+  and only counts as a regression when the increase also clears an
+  absolute floor (shared CI runners jitter sub-10ms measurements);
+* **throughput** must stay above ``baseline / --limit`` — the mirror of
+  the >3x topology-throughput gate;
+* runs with too few completed requests produce no verdict (exit 0 with a
+  notice): a gate that can fail on three samples gates on scheduler luck.
+
+To consciously re-baseline after an intentional serving change::
+
+    PYTHONPATH=src python -m repro.cli.main loadtest \
+        --duration 6 --qps 8 --json benchmarks/results/loadtest_baseline.json
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/check_loadtest_regression.py \
+        --report benchmarks/results/loadtest_report.json
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: client p95 may be at most this many times the committed baseline, and
+#: throughput at least baseline divided by it
+MAX_REGRESSION = 5.0
+
+#: p95 must also exceed the baseline by this many seconds to regress —
+#: the served path is ~10ms end to end, so sub-10ms deltas are runner noise
+ABS_FLOOR_S = 0.010
+
+#: both reports need at least this many completed requests for a verdict
+MIN_COMPLETED = 5
+
+BASELINE_PATH = Path(__file__).parent / "results" / "loadtest_baseline.json"
+
+
+def _verdict_p95(baseline: float, current: float, limit: float,
+                 abs_floor: float):
+    """(ok, detail) for the latency side."""
+    ratio = (current / baseline) if baseline > 0 else None
+    detail = f"p95 {baseline * 1000:.1f}ms -> {current * 1000:.1f}ms"
+    if current - baseline < abs_floor:
+        return True, f"{detail} (within {abs_floor * 1000:.0f}ms floor)"
+    if ratio is not None and ratio > limit:
+        return False, f"{detail} ({ratio:.2f}x, limit {limit:g}x)"
+    return True, detail
+
+
+def _verdict_throughput(baseline: float, current: float, limit: float):
+    """(ok, detail) for the throughput side."""
+    floor = baseline / limit
+    detail = f"throughput {baseline:.2f} -> {current:.2f} qps"
+    if current < floor:
+        return False, f"{detail} (below {floor:.2f} qps = baseline/{limit:g})"
+    return True, detail
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="gate served p95 latency and throughput against the "
+                    "committed load-test baseline")
+    parser.add_argument("--report", type=Path, required=True,
+                        help="load-test report JSON from the current run")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH,
+                        help=f"committed baseline report (default {BASELINE_PATH})")
+    parser.add_argument("--limit", type=float, default=MAX_REGRESSION,
+                        help=f"maximum p95 ratio / minimum throughput fraction "
+                             f"(default {MAX_REGRESSION}x)")
+    parser.add_argument("--abs-floor", type=float, default=ABS_FLOOR_S,
+                        help=f"minimum absolute p95 increase in seconds "
+                             f"(default {ABS_FLOOR_S})")
+    parser.add_argument("--min-completed", type=int, default=MIN_COMPLETED,
+                        help=f"minimum completed requests per side "
+                             f"(default {MIN_COMPLETED})")
+    args = parser.parse_args(argv)
+
+    documents = {}
+    for label, path in (("baseline", args.baseline), ("current", args.report)):
+        try:
+            documents[label] = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"cannot read {label} report {path}: {error}", file=sys.stderr)
+            return 1
+
+    failures = []
+    for label, document in documents.items():
+        if document.get("failed", 0) and label == "current":
+            failures.append(
+                f"current run had {document['failed']} failed requests "
+                f"(statuses: {document.get('status_counts')})")
+        if document.get("completed", 0) < args.min_completed:
+            print(f"{label} report has only {document.get('completed', 0)} "
+                  f"completed requests (< {args.min_completed}); no verdict")
+            return 0
+
+    base_p95 = documents["baseline"]["latency_s"]["p95"]
+    current_p95 = documents["current"]["latency_s"]["p95"]
+    ok, detail = _verdict_p95(base_p95, current_p95, args.limit, args.abs_floor)
+    print(f"{'ok  ' if ok else 'FAIL'} {detail}")
+    if not ok:
+        failures.append(detail)
+
+    base_tp = documents["baseline"]["throughput_qps"]
+    current_tp = documents["current"]["throughput_qps"]
+    ok, detail = _verdict_throughput(base_tp, current_tp, args.limit)
+    print(f"{'ok  ' if ok else 'FAIL'} {detail}")
+    if not ok:
+        failures.append(detail)
+
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    if not failures:
+        print(f"served p95 and throughput within {args.limit:g}x of the "
+              f"committed baseline")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,13 +28,17 @@ from repro.analysis.framework import (
     rule,
 )
 
-#: modules that run inside sweep workers or feed digests/cache keys
+#: modules that run inside sweep workers or feed digests/cache keys;
+#: ``api.py`` hosts the facade's worker (``run_api_cell``) and ``serve/``
+#: answers concurrent requests through it, so both inherit the contract
 DETERMINISM_SCOPE = (
     "exec/",
+    "api.py",
     "benchmark/tasks.py",
     "cost/tasks.py",
     "scenarios/engine.py",
     "graph/",
+    "serve/",
 )
 
 #: canonical-JSON scope: everywhere a ``json.dumps`` lands in an artifact a

@@ -81,6 +81,16 @@ def _normalize(value: Any) -> Any:
     return value
 
 
+def normalize_value(value: Any) -> Any:
+    """Public alias of :func:`_normalize` — the shape answers travel in.
+
+    The facade (:mod:`repro.api`) and the serve layer return answer values
+    in this golden-normalized form so an HTTP response, a CLI table, and a
+    batch result log can never disagree about container shapes.
+    """
+    return _normalize(value)
+
+
 def _is_table(value: Any) -> bool:
     return isinstance(value, dict) and value.get("__table__") is True
 

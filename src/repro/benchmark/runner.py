@@ -8,6 +8,7 @@ which is exactly the content of the paper's Tables 2, 3, 4 and 5.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -25,7 +26,15 @@ from repro.benchmark.queries import (
 )
 from repro.core.application import NetworkApplication
 from repro.core.pipeline import NetworkManagementPipeline, QueryRequest
-from repro.exec import ExecutionOptions, RunReport, TaskSet, run_with_options
+from repro.exec import (
+    ExecutionOptions,
+    ExecutorPolicy,
+    PROFILE_CPU,
+    PROFILE_LATENCY,
+    RunReport,
+    TaskSet,
+    run_tasks,
+)
 from repro.llm.calibration import CalibrationTable
 from repro.llm.catalog import DEFAULT_MODELS, create_provider
 from repro.malt import MaltApplication, MaltTopologyConfig
@@ -307,27 +316,43 @@ class BenchmarkRunner:
 
     Sweeps (``run_application``, ``run_scenario``, ``run_scenario_suite``)
     are dispatched through the :mod:`repro.exec` fabric: every (application,
-    backend, query, model) cell becomes a task, executed serially or on a
-    process pool according to *execution*, with results folded back in task
-    order — so the produced tables are byte-identical regardless of the
-    executor or cache state.
+    backend, query, model) cell becomes a task, executed under *policy* —
+    serial, thread pool, process pool, or auto-resolved per task set — with
+    results folded back in task order, so the produced tables are
+    byte-identical regardless of the executor or cache state.
     """
 
     def __init__(self, config: Optional[BenchmarkConfig] = None,
-                 execution: Optional[ExecutionOptions] = None) -> None:
+                 execution: Optional[ExecutionOptions] = None,
+                 policy: Optional[ExecutorPolicy] = None) -> None:
         self.config = config or BenchmarkConfig()
-        self.execution = execution or ExecutionOptions()
+        if execution is not None:
+            require(policy is None,
+                    "pass either policy= or the deprecated execution=, not both")
+            warnings.warn(
+                "BenchmarkRunner(execution=ExecutionOptions(...)) is "
+                "deprecated; pass policy=ExecutorPolicy(...) instead",
+                DeprecationWarning, stacklevel=2)
+            policy = execution.to_policy()
+        self.policy = policy or ExecutorPolicy.serial()
         self.evaluator = ResultsEvaluator()
         self.goldens = GoldenAnswerSelector()
         #: telemetry of the most recent fabric dispatch (None before any sweep)
         self.last_run_report: Optional[RunReport] = None
 
     # ------------------------------------------------------------------
+    def _task_profile(self) -> str:
+        """Static benchmark cells wait out the simulated provider round trip
+        when one is configured — that makes the set latency-bound (threads
+        under ``auto``); with instant providers the sandbox dominates."""
+        return (PROFILE_LATENCY if self.config.simulated_api_latency_s > 0
+                else PROFILE_CPU)
+
     def _dispatch(self, task_set: TaskSet) -> List[EvaluationRecord]:
         """Run a task set through the fabric; cell failures raise loudly."""
         with span("benchmark.dispatch", attrs={"task_set": task_set.name,
                                                "tasks": len(task_set)}):
-            run_report = run_with_options(task_set, self.execution)
+            run_report = run_tasks(task_set, policy=self.policy)
         self.last_run_report = run_report
         records = run_report.values()  # raises TaskExecutionError on any failure
         # thread cache provenance into the records so saved result logs can
@@ -371,7 +396,8 @@ class BenchmarkRunner:
         with span("benchmark.suite", attrs={"application": application_name,
                                             "models": len(models)}):
             config_payload = self.config.to_payload()
-            task_set = TaskSet(name=f"benchmark/{application_name}")
+            task_set = TaskSet(name=f"benchmark/{application_name}",
+                               profile=self._task_profile())
             for backend in backends:
                 # the paper only runs the strawman's shrunken graph on traffic
                 # analysis; a MALT strawman sweep keeps the full MALT state
@@ -417,7 +443,8 @@ class BenchmarkRunner:
             queries = queries_for("malt" if spec.family == "malt" else "traffic_analysis")
         report = AccuracyReport(application=f"scenario:{spec.name}",
                                 backends=list(backends), models=models)
-        task_set = TaskSet(name=f"benchmark/scenario/{spec.name}")
+        task_set = TaskSet(name=f"benchmark/scenario/{spec.name}",
+                           profile=self._task_profile())
         self._add_scenario_tasks(task_set, spec, backends, queries, models)
         for record in self._dispatch(task_set):
             report.logger.log(record)
@@ -456,7 +483,8 @@ class BenchmarkRunner:
         suite.validate()
         models = list(models or self.config.models)
 
-        task_set = TaskSet(name=f"benchmark/suite/{suite.name}")
+        task_set = TaskSet(name=f"benchmark/suite/{suite.name}",
+                           profile=self._task_profile())
         reports: Dict[str, AccuracyReport] = {}
         owners: List[str] = []
         for spec in suite.scenarios:

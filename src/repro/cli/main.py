@@ -10,6 +10,10 @@ Sub-commands:
 * ``queries``   — list the benchmark query corpus (Table 1);
 * ``scenarios`` — list/describe/generate structured topology families and
                   dynamic-event scenarios (``repro.scenarios``);
+* ``serve``     — run the concurrent query-answering HTTP daemon
+                  (``repro.serve``);
+* ``loadtest``  — replay a Zipf-weighted query mix against a server and
+                  report p50/p95/p99 latency and throughput;
 * ``obs``       — analyze recorded telemetry: bottleneck/critical-path
                   reports from traces, run-ledger management, and
                   noise-banded regression diffs between runs.
@@ -30,12 +34,10 @@ from repro import __version__
 from repro.benchmark import BenchmarkConfig, BenchmarkRunner
 from repro.benchmark.errors import ERROR_TYPE_LABELS
 from repro.benchmark.queries import malt_queries, traffic_queries
-from repro.core import NetworkManagementPipeline
 from repro.cost import CostAnalyzer
-from repro.exec import DEFAULT_CACHE_DIR, ExecutionOptions, ResultCache
-from repro.llm import available_models, create_provider
+from repro.exec import DEFAULT_CACHE_DIR, EXECUTOR_MODES, ExecutorPolicy, ResultCache
+from repro.llm import available_models
 from repro.llm.calibration import TEMPORAL_BACKENDS
-from repro.malt import MaltApplication
 from repro.obs import (
     DEFAULT_LEDGER_DIR,
     ResourceSampler,
@@ -57,7 +59,6 @@ from repro.obs.analyze import (
     spans_from_trace,
 )
 from repro.techniques import ImprovementCaseStudy
-from repro.traffic import TrafficAnalysisApplication
 from repro.utils.tables import format_table
 from repro.utils.validation import ValidationError, require
 
@@ -88,8 +89,12 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     """Shared execution-fabric knobs of the sweep commands."""
     group = parser.add_argument_group("execution fabric")
     group.add_argument("--jobs", type=int, default=1, metavar="N",
-                       help="worker processes for the sweep (default 1 = serial; "
+                       help="workers for the sweep (default 1 = serial; "
                             "results are byte-identical at any job count)")
+    group.add_argument("--executor", choices=EXECUTOR_MODES, default="auto",
+                       help="executor mode at --jobs > 1: 'auto' picks threads "
+                            "for latency-bound task sets and processes for "
+                            "CPU-bound ones (default auto)")
     group.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
                        help="content-keyed result cache directory "
                             f"(default {DEFAULT_CACHE_DIR})")
@@ -100,20 +105,24 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
                             "least-recently-used eviction (default: unbounded)")
 
 
-def _execution_options(args: argparse.Namespace) -> ExecutionOptions:
-    require(args.jobs >= 1, f"--jobs must be at least 1, got {args.jobs}")
+def _cache_from_args(args: argparse.Namespace):
+    """Resolve the --cache-dir/--no-cache/--cache-max-entries knobs."""
     require(not (args.no_cache and args.cache_max_entries is not None),
             "--no-cache and --cache-max-entries are mutually exclusive "
             "(there is no cache to bound)")
     if args.no_cache:
-        cache = None
-    elif args.cache_max_entries is not None:
+        return None
+    if args.cache_max_entries is not None:
         require(args.cache_max_entries >= 1,
                 f"--cache-max-entries must be at least 1, got {args.cache_max_entries}")
-        cache = ResultCache(args.cache_dir, max_entries=args.cache_max_entries)
-    else:
-        cache = args.cache_dir
-    return ExecutionOptions(jobs=args.jobs, cache=cache)
+        return ResultCache(args.cache_dir, max_entries=args.cache_max_entries)
+    return args.cache_dir
+
+
+def _execution_policy(args: argparse.Namespace) -> ExecutorPolicy:
+    require(args.jobs >= 1, f"--jobs must be at least 1, got {args.jobs}")
+    return ExecutorPolicy(mode=args.executor, jobs=args.jobs,
+                          cache=_cache_from_args(args))
 
 
 def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
@@ -310,6 +319,56 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--list-rules", action="store_true",
                          help="list registered rules and exit")
 
+    serve = subparsers.add_parser(
+        "serve", help="run the concurrent query-answering HTTP daemon")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="bind port; 0 lets the OS pick (default 8642)")
+    serve.add_argument("--model", choices=available_models(), default="gpt-4",
+                       help="default model when a request names none")
+    serve.add_argument("--workers", type=int, default=4, metavar="N",
+                       help="concurrent answer threads (default 4; clients "
+                            "beyond this queue, they do not fail)")
+    serve.add_argument("--executor", choices=EXECUTOR_MODES, default="auto",
+                       help="fabric executor mode for batch requests "
+                            "(default auto)")
+    serve.add_argument("--jobs", type=int, default=2, metavar="N",
+                       help="fabric workers inside one batch request (default 2)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="content-keyed result cache directory "
+                            "(default: no caching; answers are recomputed "
+                            "but contexts stay warm across requests)")
+
+    loadtest = subparsers.add_parser(
+        "loadtest", help="replay a Zipf query mix against a server and "
+                         "report latency percentiles and throughput")
+    loadtest.add_argument("--host", default=None,
+                          help="target server host (default: spawn an "
+                               "in-process server for the run)")
+    loadtest.add_argument("--port", type=int, default=8642,
+                          help="target server port (with --host; default 8642)")
+    loadtest.add_argument("--duration", type=float, default=10.0, metavar="S",
+                          help="run length in seconds (default 10)")
+    loadtest.add_argument("--qps", type=float, default=5.0,
+                          help="target request rate, open-loop (default 5)")
+    loadtest.add_argument("--zipf", type=float, default=1.1, metavar="S",
+                          help="Zipf exponent of the query popularity "
+                               "distribution (default 1.1)")
+    loadtest.add_argument("--seed", type=int, default=7,
+                          help="RNG seed of the request schedule (default 7)")
+    loadtest.add_argument("--scenarios", nargs="*", default=None,
+                          help="restrict the mix to these scenarios "
+                               "(default: the whole temporal corpus)")
+    loadtest.add_argument("--model", choices=available_models(), default="gpt-4")
+    loadtest.add_argument("--backend", choices=list(TEMPORAL_BACKENDS),
+                          default="direct",
+                          help="temporal answering backend (default direct)")
+    loadtest.add_argument("--json", dest="json_path", default=None,
+                          metavar="OUT.json",
+                          help="write the report (the regression-gate schema) "
+                               "to this JSON file")
+
     obs = subparsers.add_parser(
         "obs", help="analyze recorded telemetry: reports, run ledger, diffs")
     obs_sub = obs.add_subparsers(dest="obs_action")
@@ -363,13 +422,10 @@ def build_parser() -> argparse.ArgumentParser:
 # sub-command handlers
 # ---------------------------------------------------------------------------
 def _cmd_ask(args: argparse.Namespace) -> int:
-    if args.application == "traffic":
-        application = TrafficAnalysisApplication.with_size(args.nodes, args.edges)
-    else:
-        application = MaltApplication.small()
-    provider = create_provider(args.model)
-    pipeline = NetworkManagementPipeline(application, provider, args.backend)
-    result = pipeline.run_query(args.query)
+    from repro.api import ask
+
+    result = ask(args.query, application=args.application, backend=args.backend,
+                 model=args.model, nodes=args.nodes, edges=args.edges)
     print(f"# model: {args.model}   backend: {args.backend}")
     if result.code:
         print("# generated code:")
@@ -395,7 +451,7 @@ def _cmd_benchmark(args: argparse.Namespace) -> int:
         config.malt_config = MaltTopologyConfig(
             datacenters=1, pods_per_datacenter=2, racks_per_pod=2, chassis_per_rack=2,
             switches_per_chassis=4, ports_per_switch=3, control_points=4, port_links=6)
-    runner = BenchmarkRunner(config, execution=_execution_options(args))
+    runner = BenchmarkRunner(config, policy=_execution_policy(args))
     applications = {"traffic": ["traffic_analysis"], "malt": ["malt"],
                     "all": ["traffic_analysis", "malt"]}[args.application]
     for application in applications:
@@ -423,7 +479,7 @@ def _cmd_benchmark_temporal(args: argparse.Namespace) -> int:
     # --backend flags dedupe (order-preserving)
     requested = dict.fromkeys(args.temporal_backends or [])
     backends = ["direct"] + [b for b in requested if b != "direct"]
-    runner = BenchmarkRunner(BenchmarkConfig(), execution=_execution_options(args))
+    runner = BenchmarkRunner(BenchmarkConfig(), policy=_execution_policy(args))
     report = runner.run_temporal_suite(scenarios=args.scenarios,
                                        models=args.models, backends=backends)
     _print_fabric(runner.last_run_report)
@@ -440,7 +496,7 @@ def _cmd_benchmark_temporal(args: argparse.Namespace) -> int:
 
 
 def _cmd_cost(args: argparse.Namespace) -> int:
-    analyzer = CostAnalyzer(model=args.model, execution=_execution_options(args))
+    analyzer = CostAnalyzer(model=args.model, policy=_execution_policy(args))
     cdfs = analyzer.cost_cdf()
     rows = []
     for backend, cdf in cdfs.items():
@@ -461,6 +517,52 @@ def _cmd_cost(args: argparse.Namespace) -> int:
     if limit is not None:
         print(f"\nThe strawman exceeds the {args.model} token window at size {limit}.")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve`` — run the daemon until interrupted."""
+    import asyncio
+
+    from repro.serve import ReproService, ServiceConfig
+
+    require(args.workers >= 1, f"--workers must be at least 1, got {args.workers}")
+    require(args.jobs >= 1, f"--jobs must be at least 1, got {args.jobs}")
+    service = ReproService(ServiceConfig(
+        host=args.host, port=args.port, model=args.model, workers=args.workers,
+        executor=args.executor, jobs=args.jobs, cache=args.cache_dir))
+
+    async def _run() -> None:
+        await service.start()
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        logger.info("interrupted; server stopped")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    """``repro loadtest`` — drive a server, print the report, gate on failures."""
+    from repro.serve import ServiceConfig
+    from repro.serve.loadtest import LoadTestConfig, run_loadtest
+
+    config = LoadTestConfig(
+        host=args.host, port=args.port, duration_s=args.duration, qps=args.qps,
+        zipf_exponent=args.zipf, seed=args.seed, scenarios=args.scenarios,
+        model=args.model, backend=args.backend,
+        service=ServiceConfig(port=0, model=args.model))
+    report = run_loadtest(config)
+    print(report.render())
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(report.to_document(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        logger.info("wrote load-test report to %s", args.json_path)
+    return 0 if report.failed == 0 else 1
 
 
 def _cmd_improve(args: argparse.Namespace) -> int:
@@ -743,9 +845,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "benchmark": _cmd_benchmark,
         "cost": _cmd_cost,
         "improve": _cmd_improve,
+        "loadtest": _cmd_loadtest,
         "obs": _cmd_obs,
         "queries": _cmd_queries,
         "scenarios": _cmd_scenarios,
+        "serve": _cmd_serve,
     }
     if args.command is None:
         parser.print_help()

@@ -7,9 +7,11 @@ exploits that purity:
 
 * a :class:`Task` names one cell with a stable key and describes it as data
   (worker dotted path + JSON payload);
-* :func:`run_tasks` dispatches a :class:`TaskSet` through a pluggable
-  executor — :class:`SerialExecutor` in-process or the process-pool
-  :class:`ParallelExecutor` with a group-aware shard/chunk policy;
+* :func:`run_tasks` dispatches a :class:`TaskSet` under an
+  :class:`ExecutorPolicy` — ``serial`` in-process, ``threads`` for
+  latency-bound cells, ``processes`` for cpu-bound cells, or ``auto``,
+  which resolves per task set from its declared workload profile and the
+  host's core count;
 * a content-keyed :class:`ResultCache` skips cells whose digest (fabric
   version + key + worker + canonical payload) already has a stored result;
 * the :class:`RunReport` carries per-task timing/telemetry and returns
@@ -22,23 +24,32 @@ enforced by the tier-1 tests.
 
 from repro.exec.api import ExecutionOptions, run_tasks, run_with_options
 from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache, resolve_cache
-from repro.exec.executors import ParallelExecutor, SerialExecutor, shard_tasks
+from repro.exec.executors import (ParallelExecutor, SerialExecutor,
+                                  ThreadExecutor, shard_tasks)
+from repro.exec.policy import EXECUTOR_MODES, ExecutorPolicy
 from repro.exec.report import RunReport, TaskExecutionError, TaskResult
-from repro.exec.task import FABRIC_VERSION, Task, TaskSet
+from repro.exec.task import (FABRIC_VERSION, PROFILE_CPU, PROFILE_LATENCY,
+                             TASK_PROFILES, Task, TaskSet)
 from repro.exec.workers import clear_worker_contexts, resolve_worker, worker_context
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "EXECUTOR_MODES",
     "ExecutionOptions",
+    "ExecutorPolicy",
     "FABRIC_VERSION",
+    "PROFILE_CPU",
+    "PROFILE_LATENCY",
     "ParallelExecutor",
     "ResultCache",
     "RunReport",
     "SerialExecutor",
+    "TASK_PROFILES",
     "Task",
     "TaskExecutionError",
     "TaskResult",
     "TaskSet",
+    "ThreadExecutor",
     "clear_worker_contexts",
     "resolve_cache",
     "resolve_worker",

@@ -1,71 +1,119 @@
 """``run_tasks`` — the one entry point of the execution fabric.
 
 The call sequence is always: check the cache for every task (in the
-parent), dispatch only the misses through the chosen executor, fold cached
-and fresh results back into task-set order, and persist fresh successes.
-Cache lookups and stores stay in the parent process so the cache never
-needs cross-process coordination.
+parent), dispatch only the misses through the executor the
+:class:`~repro.exec.policy.ExecutorPolicy` selected, fold cached and fresh
+results back into task-set order, and persist fresh successes.  Cache
+lookups and stores stay in the parent process so the cache never needs
+cross-process coordination.
+
+The policy object is the API: owners (runner, cost analyzer, CLI, serve)
+describe *how* they want work run once — mode, jobs, cache, chunking,
+context retention — and hand the same value everywhere.  The pre-policy
+``jobs``/``cache``/``chunk_size`` kwargs still work for one release behind
+a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import logging
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 from repro.exec.cache import ResultCache, resolve_cache
-from repro.exec.executors import ParallelExecutor, SerialExecutor
+from repro.exec.executors import SerialExecutor, ThreadExecutor
+from repro.exec.policy import ExecutorPolicy
 from repro.exec.report import RunReport, TaskResult
 from repro.exec.task import TaskSet
 from repro.exec.workers import clear_worker_contexts
 from repro.obs import ingest_observations, span
+from repro.utils.validation import ValidationError
 
 logger = logging.getLogger(__name__)
+
+#: distinguishes "caller omitted the kwarg" from every real value,
+#: including ``None`` (a meaningful cache setting)
+_UNSET: Any = object()
+
+_LEGACY_KWARGS_MESSAGE = (
+    "run_tasks(jobs=/cache=/chunk_size=) is deprecated; pass "
+    "policy=ExecutorPolicy(...) instead (ExecutorPolicy.from_legacy mirrors "
+    "the old behaviour exactly)")
 
 
 @dataclass
 class ExecutionOptions:
-    """How a sweep owner (runner, analyzer, CLI) wants its task sets run."""
+    """Pre-policy bag of execution kwargs (deprecated).
+
+    Kept one release for callers that stored these options; new code holds
+    an :class:`ExecutorPolicy` instead, which adds mode selection and
+    context retention on top of the same three fields.
+    """
 
     jobs: int = 1
     cache: Union[None, str, ResultCache] = None
     chunk_size: Optional[int] = None
 
+    def to_policy(self) -> ExecutorPolicy:
+        """The policy with exactly this option bag's historical behaviour."""
+        return ExecutorPolicy.from_legacy(jobs=self.jobs, cache=self.cache,
+                                          chunk_size=self.chunk_size)
+
 
 def run_tasks(task_set: TaskSet,
-              jobs: int = 1,
-              cache: Union[None, str, ResultCache] = None,
-              chunk_size: Optional[int] = None,
-              executor=None) -> RunReport:
+              jobs: int = _UNSET,
+              cache: Union[None, str, ResultCache] = _UNSET,
+              chunk_size: Optional[int] = _UNSET,
+              executor=None,
+              policy: Optional[ExecutorPolicy] = None) -> RunReport:
     """Run every task of *task_set* and return the ordered :class:`RunReport`.
 
     Parameters
     ----------
     task_set:
         The ordered, uniquely-keyed work description.
-    jobs:
-        Worker process count; ``1`` selects the in-process serial executor.
-    cache:
-        ``None`` (no caching), a directory path, or a :class:`ResultCache`.
-        Only successful results are cached; errors always re-execute.
-    chunk_size:
-        Tasks per pool submission (parallel executor only).
+    policy:
+        The :class:`ExecutorPolicy` deciding mechanism (serial / threads /
+        processes / auto), worker count, caching, chunking, and whether
+        worker contexts outlive the run.  ``None`` means the default policy
+        (serial, uncached).
     executor:
-        Explicit executor instance, overriding ``jobs``/``chunk_size``.
+        Explicit executor instance, overriding the policy's mechanism
+        selection (the policy still governs caching and context retention).
+    jobs, cache, chunk_size:
+        Deprecated pre-policy kwargs; still honored for one release (with a
+        :class:`DeprecationWarning`) and mapped through
+        :meth:`ExecutorPolicy.from_legacy`.  Mutually exclusive with
+        ``policy``.
 
     The report's ``results`` are in task-set order regardless of executor or
     completion order — the determinism contract every consumer builds on.
     """
+    legacy = {name: value for name, value in
+              (("jobs", jobs), ("cache", cache), ("chunk_size", chunk_size))
+              if value is not _UNSET}
+    if legacy:
+        if policy is not None:
+            raise ValidationError(
+                "run_tasks() got both policy= and deprecated kwargs "
+                f"({', '.join(sorted(legacy))}); pass only the policy")
+        warnings.warn(_LEGACY_KWARGS_MESSAGE, DeprecationWarning, stacklevel=2)
+        policy = ExecutorPolicy.from_legacy(**legacy)
+    elif policy is None:
+        policy = ExecutorPolicy.serial()
+    policy.validate()
+
     task_set.validate()
     if executor is None:
-        executor = (SerialExecutor() if jobs <= 1
-                    else ParallelExecutor(jobs=jobs, chunk_size=chunk_size))
-    result_cache = resolve_cache(cache)
+        executor = policy.build_executor(task_set)
+    result_cache = resolve_cache(policy.cache)
     started = time.perf_counter()
 
     dispatch_attrs = {"task_set": task_set.name, "tasks": len(task_set),
-                      "jobs": getattr(executor, "jobs", jobs)}
+                      "jobs": getattr(executor, "jobs", policy.jobs),
+                      "executor": type(executor).__name__}
     with span("exec.run_tasks", attrs=dispatch_attrs):
         results = {}
         pending = []
@@ -93,12 +141,15 @@ def run_tasks(task_set: TaskSet,
                                     duration_s=raw["duration_s"])
                 results[result.key] = result
         finally:
-            if isinstance(executor, SerialExecutor):
-                # serial execution memoizes worker contexts (rebuilt
+            if (isinstance(executor, (SerialExecutor, ThreadExecutor))
+                    and not policy.keep_contexts):
+                # in-process execution memoizes worker contexts (rebuilt
                 # applications) in *this* process; drop them so long-lived
                 # sessions don't accumulate one graph per swept
                 # configuration.  Pool workers die with their pool, so the
-                # parallel path needs no cleanup.
+                # parallel path needs no cleanup.  Long-lived owners (the
+                # serve layer) opt out via policy.keep_contexts to reuse
+                # per-scenario state across runs.
                 clear_worker_contexts()
 
         if result_cache is not None:
@@ -111,19 +162,26 @@ def run_tasks(task_set: TaskSet,
 
     report = RunReport(
         task_set=task_set.name,
-        jobs=getattr(executor, "jobs", jobs),
+        jobs=getattr(executor, "jobs", policy.jobs),
         results=[results[task.key] for task in task_set],
         wall_time_s=time.perf_counter() - started,
     )
-    logger.debug("run_tasks %s: %d tasks, %d cache hits, %d failed, %.3fs",
-                 report.task_set, len(report.results), report.cache_hits,
-                 len(report.failures()), report.wall_time_s)
+    logger.debug("run_tasks %s [%s]: %d tasks, %d cache hits, %d failed, %.3fs",
+                 report.task_set, type(executor).__name__, len(report.results),
+                 report.cache_hits, len(report.failures()), report.wall_time_s)
     return report
+
 
 
 def run_with_options(task_set: TaskSet,
                      options: Optional[ExecutionOptions]) -> RunReport:
-    """Dispatch *task_set* under *options* (``None`` means serial, uncached)."""
+    """Deprecated: dispatch *task_set* under a pre-policy option bag.
+
+    ``None`` means serial, uncached.  New code calls
+    ``run_tasks(task_set, policy=...)`` directly.
+    """
+    warnings.warn(
+        "run_with_options() is deprecated; call run_tasks(task_set, "
+        "policy=options.to_policy()) instead", DeprecationWarning, stacklevel=2)
     options = options or ExecutionOptions()
-    return run_tasks(task_set, jobs=options.jobs, cache=options.cache,
-                     chunk_size=options.chunk_size)
+    return run_tasks(task_set, policy=options.to_policy())

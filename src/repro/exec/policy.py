@@ -1,0 +1,155 @@
+"""Executor selection: how a task set decides *where* its cells run.
+
+`benchmarks/results/parallel_speedup.json` records the fact this module
+encodes: on a 1-core host the process pool *loses* on cpu-bound work
+(0.85x at 2 workers — serialization and pool spin-up with no spare core to
+hide them) while winning ~3.5x on latency-bound work, where workers spend
+their time waiting on a provider round trip.  So "how parallel" (``jobs``)
+and "which mechanism" (serial / threads / processes) are different
+decisions, and the right mechanism depends on the *task set*, not on the
+caller:
+
+* latency-bound cells (provider round trips, network waits) overlap
+  perfectly under threads — no pickling, no pool spin-up, shared caches;
+* cpu-bound cells (sandbox runs, graph replays) need real cores, which in
+  CPython means processes — but only when the host actually has spare
+  cores;
+* a single task never benefits from any pool.
+
+:class:`ExecutorPolicy` is the value object that carries the whole
+decision — mode, worker count, chunking, caching, context retention — and
+resolves it per :class:`~repro.exec.task.TaskSet` via the set's declared
+:attr:`~repro.exec.task.TaskSet.profile`.  It replaces the ad-hoc
+``jobs``/``cache_dir``/``no_cache`` kwarg threading that the runner, the
+cost analyzer, and the CLI used to push through every layer.
+
+Whatever the policy picks, the fabric's determinism contract holds: the
+three mechanisms produce byte-identical reports for the same task set.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from repro.exec.cache import ResultCache
+from repro.exec.executors import ParallelExecutor, SerialExecutor, ThreadExecutor
+from repro.exec.task import PROFILE_LATENCY, TaskSet
+from repro.utils.validation import require, require_in
+
+#: the selectable dispatch mechanisms; ``auto`` resolves per task set
+EXECUTOR_MODES = ("auto", "serial", "threads", "processes")
+
+
+@dataclass(frozen=True)
+class ExecutorPolicy:
+    """How (and where) a sweep owner wants its task sets executed.
+
+    ``mode`` names the dispatch mechanism; ``auto`` defers the choice to
+    :meth:`resolve_mode`, which inspects the task set's profile and the
+    host's core count.  The policy is immutable and JSON-free on purpose:
+    it never travels inside task payloads, so the choice of executor can
+    never perturb digests, cache keys, or results.
+    """
+
+    mode: str = "auto"
+    #: worker count; 1 always means the in-process serial executor
+    jobs: int = 1
+    #: tasks per pool submission (None = auto, ~4 chunks per worker)
+    chunk_size: Optional[int] = None
+    #: ``None`` (no caching), a directory path, or a live :class:`ResultCache`
+    cache: Union[None, str, ResultCache] = None
+    #: optional :mod:`multiprocessing` start method (processes mode only)
+    start_method: Optional[str] = None
+    #: keep :func:`~repro.exec.workers.worker_context` memos alive after an
+    #: in-process run — long-lived owners (the serve layer) opt in so
+    #: per-scenario state survives across requests instead of rebuilding
+    keep_contexts: bool = False
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        require_in(self.mode, EXECUTOR_MODES, "executor mode")
+        require(self.jobs >= 1, f"jobs must be at least 1, got {self.jobs}")
+        if self.chunk_size is not None:
+            require(self.chunk_size >= 1,
+                    f"chunk_size must be at least 1, got {self.chunk_size}")
+
+    # ------------------------------------------------------------------
+    def resolve_mode(self, task_set: TaskSet,
+                     cpu_count: Optional[int] = None) -> str:
+        """The concrete mechanism this policy uses for *task_set*.
+
+        Fixed modes resolve to themselves (``jobs=1`` always collapses to
+        serial — there is no 1-worker pool worth paying for).  ``auto``
+        chooses from the task set's profile:
+
+        * ``latency`` → threads: waiting overlaps without pickling costs;
+        * ``cpu`` → processes, but only when the host has more than one
+          core (*cpu_count* overrides :func:`os.cpu_count` for tests) —
+          a 1-core host runs cpu-bound work serially, which the committed
+          speedup baseline shows is strictly faster than a pool;
+        * a task set of one never leaves the calling process.
+        """
+        self.validate()
+        if self.jobs <= 1 or self.mode == "serial":
+            return "serial"
+        if self.mode != "auto":
+            return self.mode
+        if len(task_set) <= 1:
+            return "serial"
+        if task_set.profile == PROFILE_LATENCY:
+            return "threads"
+        cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+        return "processes" if cores > 1 else "serial"
+
+    def build_executor(self, task_set: TaskSet,
+                       cpu_count: Optional[int] = None):
+        """Instantiate the executor :meth:`resolve_mode` picked."""
+        mode = self.resolve_mode(task_set, cpu_count=cpu_count)
+        if mode == "serial":
+            return SerialExecutor()
+        if mode == "threads":
+            return ThreadExecutor(jobs=self.jobs, chunk_size=self.chunk_size)
+        return ParallelExecutor(jobs=self.jobs, chunk_size=self.chunk_size,
+                                start_method=self.start_method)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def serial(cls, cache: Union[None, str, ResultCache] = None,
+               **overrides) -> "ExecutorPolicy":
+        return cls(mode="serial", jobs=1, cache=cache, **overrides)
+
+    @classmethod
+    def threads(cls, jobs: int = 2, cache: Union[None, str, ResultCache] = None,
+                **overrides) -> "ExecutorPolicy":
+        return cls(mode="threads", jobs=jobs, cache=cache, **overrides)
+
+    @classmethod
+    def processes(cls, jobs: int = 2, cache: Union[None, str, ResultCache] = None,
+                  **overrides) -> "ExecutorPolicy":
+        return cls(mode="processes", jobs=jobs, cache=cache, **overrides)
+
+    @classmethod
+    def auto(cls, jobs: int = 2, cache: Union[None, str, ResultCache] = None,
+             **overrides) -> "ExecutorPolicy":
+        return cls(mode="auto", jobs=jobs, cache=cache, **overrides)
+
+    @classmethod
+    def from_legacy(cls, jobs: int = 1,
+                    cache: Union[None, str, ResultCache] = None,
+                    chunk_size: Optional[int] = None) -> "ExecutorPolicy":
+        """The policy equivalent of the pre-policy kwargs.
+
+        Preserves the historical behaviour exactly: ``jobs > 1`` meant the
+        process pool, anything else the serial executor — never ``auto``,
+        so code migrated mechanically cannot change executors under a
+        caller's feet.
+        """
+        return cls(mode="processes" if jobs > 1 else "serial",
+                   jobs=jobs, cache=cache, chunk_size=chunk_size)
+
+    def with_cache(self, cache: Union[None, str, ResultCache]) -> "ExecutorPolicy":
+        return replace(self, cache=cache)

@@ -24,6 +24,7 @@ in the same process and rebuild it once.
 from __future__ import annotations
 
 import importlib
+import threading
 import time
 import traceback
 from typing import Any, Callable, Dict, List, Tuple
@@ -51,6 +52,9 @@ def resolve_worker(reference: str) -> Callable[[Dict[str, Any]], Any]:
 # process-local context memoization
 # ---------------------------------------------------------------------------
 _CONTEXT_CACHE: Dict[Tuple[Any, ...], Any] = {}
+_MISSING = object()
+_CONTEXT_CACHE_LOCK = threading.Lock()
+_CONTEXT_BUILD_LOCKS: Dict[Tuple[Any, ...], threading.Lock] = {}
 
 
 def worker_context(key: Tuple[Any, ...], builder: Callable[[], Any]) -> Any:
@@ -59,15 +63,29 @@ def worker_context(key: Tuple[Any, ...], builder: Callable[[], Any]) -> Any:
     *key* must capture every input of *builder* (configs, spec digests); the
     built value is shared by every task of the same process, so it must be
     treated as immutable by workers (copy before mutating).
+
+    Thread-safe: under :class:`~repro.exec.executors.ThreadExecutor` (and
+    the serve layer) concurrent tasks may request the same context, and
+    exactly one of them builds it — a per-key build lock keeps unrelated
+    contexts from serializing each other's construction while guaranteeing
+    every caller observes the same built value.
     """
-    if key not in _CONTEXT_CACHE:
-        _CONTEXT_CACHE[key] = builder()
+    value = _CONTEXT_CACHE.get(key, _MISSING)
+    if value is not _MISSING:
+        return value
+    with _CONTEXT_CACHE_LOCK:
+        build_lock = _CONTEXT_BUILD_LOCKS.setdefault(key, threading.Lock())
+    with build_lock:
+        if key not in _CONTEXT_CACHE:
+            _CONTEXT_CACHE[key] = builder()
     return _CONTEXT_CACHE[key]
 
 
 def clear_worker_contexts() -> None:
-    """Drop all memoized contexts (test isolation hook)."""
-    _CONTEXT_CACHE.clear()
+    """Drop all memoized contexts (test isolation + session hygiene hook)."""
+    with _CONTEXT_CACHE_LOCK:
+        _CONTEXT_CACHE.clear()
+        _CONTEXT_BUILD_LOCKS.clear()
 
 
 # ---------------------------------------------------------------------------

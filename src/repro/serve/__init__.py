@@ -1,0 +1,26 @@
+"""``repro.serve`` — the long-running query-answering service.
+
+The ROADMAP north star turned daemon: a stdlib-only (``asyncio``) HTTP
+service answering natural-language and temporal queries against named
+scenarios for many clients at once, routing every request through the same
+:mod:`repro.api` facade the batch CLI uses — so a served answer and a batch
+answer for the same (scenario, query, model, backend) are identical by
+construction.
+
+:class:`ReproService` is the server, :class:`ServerThread` spawns it
+in-process (tests, ``repro loadtest --spawn``), and :mod:`repro.serve.
+loadtest` is the Zipf-mix load generator with the p50/p95/p99 + throughput
+report that CI gates on.
+"""
+
+from repro.serve.http import HttpProtocolError, HttpRequest, request_json
+from repro.serve.service import ReproService, ServerThread, ServiceConfig
+
+__all__ = [
+    "HttpProtocolError",
+    "HttpRequest",
+    "ReproService",
+    "ServerThread",
+    "ServiceConfig",
+    "request_json",
+]

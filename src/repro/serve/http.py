@@ -1,0 +1,162 @@
+"""Minimal HTTP/1.1 plumbing for :mod:`repro.serve` — stdlib only.
+
+The service speaks just enough HTTP for its JSON API: request-line +
+headers + optional ``Content-Length`` body on the way in, a rendered
+status/headers/JSON-body response on the way out, one request per
+connection (``Connection: close``).  Keeping the wire layer this small —
+``asyncio`` streams and nothing else — is what lets the daemon run with no
+dependencies beyond the Python the repo already requires.
+
+:func:`request_json` is the matching client: it drives one request/response
+round trip over a fresh connection and is what the load generator and the
+concurrency tests use to storm the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+#: sanity bound on request bodies (1 MiB): the API's JSON requests are tiny,
+#: so anything larger is a client bug, not a workload
+MAX_BODY_BYTES = 1 << 20
+
+#: sanity bound on the request line + headers block
+MAX_HEADER_BYTES = 64 << 10
+
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpProtocolError(Exception):
+    """A malformed or oversized request; carries the status to answer with."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """One parsed inbound request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body parsed as JSON (400 on syntax errors or an empty body)."""
+        if not self.body:
+            raise HttpProtocolError(400, "request body must be a JSON object")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HttpProtocolError(400, f"invalid JSON body: {error}") from error
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Parse one request from *reader*; ``None`` when the peer closed early."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise HttpProtocolError(400, "truncated request head") from error
+    except asyncio.LimitOverrunError as error:
+        raise HttpProtocolError(413, "request head too large") from error
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpProtocolError(413, "request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpProtocolError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise HttpProtocolError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError as error:
+            raise HttpProtocolError(
+                400, f"invalid Content-Length: {length_header!r}") from error
+        if length < 0:
+            raise HttpProtocolError(400, f"invalid Content-Length: {length}")
+        if length > MAX_BODY_BYTES:
+            raise HttpProtocolError(413, "request body too large")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as error:
+                raise HttpProtocolError(400, "truncated request body") from error
+    # strip any query string: the API routes on the bare path
+    path = target.split("?", 1)[0] or "/"
+    return HttpRequest(method=method.upper(), path=path, headers=headers,
+                       body=body)
+
+
+def render_response(status: int, document: Any) -> bytes:
+    """Render *document* as a JSON response (sorted keys: stable wire bytes)."""
+    body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+    reason = STATUS_REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("latin-1") + body
+
+
+def error_document(status: int, message: str) -> Dict[str, Any]:
+    return {"error": {"status": status, "message": message}}
+
+
+# ---------------------------------------------------------------------------
+# the matching async client
+# ---------------------------------------------------------------------------
+async def request_json(host: str, port: int, method: str, path: str,
+                       payload: Any = None,
+                       timeout: float = 30.0) -> Tuple[int, Any]:
+    """One client round trip; returns ``(status, parsed JSON document)``."""
+    body = b""
+    if payload is not None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    head = (f"{method.upper()} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout)
+    try:
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # peer already gone: fine
+            pass
+    header_block, _, payload_bytes = raw.partition(b"\r\n\r\n")
+    status_line = header_block.split(b"\r\n", 1)[0].decode("latin-1")
+    status = int(status_line.split(" ")[1])
+    document = json.loads(payload_bytes.decode("utf-8")) if payload_bytes else None
+    return status, document

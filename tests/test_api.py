@@ -1,0 +1,234 @@
+"""Tests for the :mod:`repro.api` facade and the load-test machinery.
+
+The facade's contract: query resolution accepts corpus ids and free text,
+answers come from the exact benchmark workers (so facade verdicts equal
+batch-benchmark verdicts cell for cell), batches dedupe and keep request
+order, and the Zipf load-test mix plus its CI regression gate are
+deterministic functions of their inputs.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.api import QuerySpec, QueryAnswer
+from repro.benchmark.queries import temporal_queries_for
+from repro.exec import ExecutorPolicy
+from repro.serve.loadtest import (
+    LoadTestConfig,
+    LoadTestReport,
+    build_query_mix,
+    percentile,
+    zipf_weights,
+)
+from repro.utils.validation import ValidationError
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+from check_loadtest_regression import main as loadtest_gate_main  # noqa: E402
+
+
+# ---------------------------------------------------------------------------
+# scenario corpus + query resolution
+# ---------------------------------------------------------------------------
+class TestScenarioCorpus:
+    def test_list_scenarios_documents_query_corpora(self):
+        documents = api.list_scenarios()
+        assert documents
+        by_name = {doc["name"]: doc for doc in documents}
+        failover = by_name["fat-tree-failover"]
+        assert failover["queries"]["temporal"]  # tq-* ids
+        assert failover["queries"]["static"]    # family corpus ids
+
+    def test_load_scenario_rejects_unknown_name(self):
+        with pytest.raises(ValidationError, match="unknown scenario"):
+            api.load_scenario("no-such-scenario")
+
+
+class TestQueryResolution:
+    def test_resolves_corpus_id_exactly(self):
+        resolved = api.resolve_query("fat-tree-failover", "tq-e1")
+        assert resolved.query_id == "tq-e1"
+
+    def test_resolves_natural_language_text(self):
+        spec = api.load_scenario("fat-tree-failover")
+        canonical = temporal_queries_for(spec.name)[0]
+        mangled = canonical.text.upper().rstrip("?") + "?"
+        assert api.resolve_query(spec, mangled).query_id == canonical.query_id
+
+    def test_unknown_query_names_the_scenario(self):
+        with pytest.raises(ValidationError, match="fat-tree-failover"):
+            api.resolve_query("fat-tree-failover", "what is the meaning of life")
+
+
+# ---------------------------------------------------------------------------
+# answers
+# ---------------------------------------------------------------------------
+class TestAnswers:
+    def test_temporal_answer_matches_golden(self):
+        answer = api.answer_temporal_query("fat-tree-failover", "tq-e1")
+        assert isinstance(answer, QueryAnswer)
+        assert answer.kind == "temporal"
+        assert answer.backend == "direct"
+        assert answer.passed
+        assert answer.answer is not None
+        assert answer.record is not None and answer.record.passed
+
+    def test_static_answer_through_codegen(self):
+        answer = api.answer_query("fat-tree-failover", "ta-e1")
+        assert answer.kind == "static"
+        assert answer.backend == "networkx"
+        assert answer.answer is not None or answer.failure_stage
+
+    def test_answer_matches_batch_benchmark_verdict(self):
+        """The facade's verdict IS the benchmark's verdict for the cell."""
+        from repro.benchmark.runner import BenchmarkConfig, BenchmarkRunner
+
+        answer = api.answer_temporal_query("fat-tree-failover", "tq-e1",
+                                           model="gpt-4")
+        report = BenchmarkRunner(BenchmarkConfig()).run_temporal_suite(
+            scenarios=["fat-tree-failover"], models=["gpt-4"])
+        twin = [record for record in report.logger.records
+                if record.query_id == "tq-e1" and record.backend == "direct"]
+        assert twin and twin[0].passed == answer.passed
+
+    def test_batch_dedupes_and_preserves_request_order(self):
+        requests = [QuerySpec("fat-tree-failover", "tq-e1"),
+                    QuerySpec("fat-tree-failover", "tq-h1"),
+                    QuerySpec("fat-tree-failover", "tq-e1")]
+        answers = api.answer_queries(requests)
+        assert [a.query_id for a in answers] == ["tq-e1", "tq-h1", "tq-e1"]
+        assert answers[0].answer == answers[2].answer
+
+    def test_batch_is_identical_across_executors(self):
+        requests = [QuerySpec("fat-tree-failover", query.query_id)
+                    for query in temporal_queries_for("fat-tree-failover")]
+        serial = api.answer_queries(requests, policy=ExecutorPolicy.serial())
+        threaded = api.answer_queries(requests,
+                                      policy=ExecutorPolicy.threads(jobs=3))
+        strip = ("duration_s", "cached")
+        for left, right in zip(serial, threaded):
+            left_doc, right_doc = left.to_document(), right.to_document()
+            for key in strip:
+                left_doc.pop(key), right_doc.pop(key)
+            assert left_doc == right_doc
+
+    def test_temporal_entry_point_rejects_static_queries(self):
+        with pytest.raises(ValidationError, match="not a temporal query"):
+            api.answer_temporal_query("fat-tree-failover", "ta-e1")
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            api.answer_query("fat-tree-failover", "tq-e1", backend="strawman")
+
+    def test_ask_freeform(self):
+        result = api.ask("how many nodes are in the network",
+                         nodes=30, edges=30)
+        assert result.succeeded
+        assert result.result_value == 30
+
+
+# ---------------------------------------------------------------------------
+# the load-test mix
+# ---------------------------------------------------------------------------
+class TestLoadTestMix:
+    def test_mix_is_deterministic(self):
+        config = LoadTestConfig(duration_s=5, qps=10, seed=11)
+        assert build_query_mix(config) == build_query_mix(config)
+
+    def test_seed_changes_schedule(self):
+        base = build_query_mix(LoadTestConfig(duration_s=5, qps=10, seed=1))
+        other = build_query_mix(LoadTestConfig(duration_s=5, qps=10, seed=2))
+        assert base != other
+
+    def test_zipf_head_dominates(self):
+        weights = zipf_weights(10, 1.1)
+        assert weights[0] == 1.0
+        assert weights == sorted(weights, reverse=True)
+        mix = build_query_mix(LoadTestConfig(duration_s=20, qps=10, seed=7))
+        counts = {}
+        for body in mix:
+            key = (body["scenario"], body["query"])
+            counts[key] = counts.get(key, 0) + 1
+        head = max(counts.values())
+        assert head > len(mix) / len(counts)  # heavier than uniform
+
+    def test_scenario_restriction(self):
+        mix = build_query_mix(LoadTestConfig(
+            duration_s=3, qps=5, scenarios=["fat-tree-failover"]))
+        assert {body["scenario"] for body in mix} == {"fat-tree-failover"}
+
+    def test_unknown_scenario_is_an_error(self):
+        with pytest.raises(ValidationError):
+            build_query_mix(LoadTestConfig(scenarios=["nope"]))
+
+    def test_percentile_nearest_rank(self):
+        samples = [0.1, 0.2, 0.3, 0.4, 0.5]
+        assert percentile(samples, 0.50) == 0.3
+        assert percentile(samples, 0.95) == 0.5
+        assert percentile([], 0.5) is None
+
+    def test_report_document_schema(self):
+        report = LoadTestReport(target_qps=5, duration_s=2, sent=10,
+                                completed=9, failed=1, wall_s=2.0,
+                                latencies_s=[0.01] * 9,
+                                status_counts={"200": 9, "500": 1})
+        document = report.to_document()
+        assert document["throughput_qps"] == 4.5
+        assert document["latency_s"]["p95"] == 0.01
+        assert json.loads(json.dumps(document)) == document
+
+
+# ---------------------------------------------------------------------------
+# the CI gate
+# ---------------------------------------------------------------------------
+def _report(path, p95=0.010, throughput=8.0, completed=24, failed=0):
+    document = {
+        "completed": completed, "failed": failed, "sent": completed + failed,
+        "throughput_qps": throughput,
+        "latency_s": {"p50": p95 / 2, "p95": p95, "p99": p95 * 1.2},
+    }
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return path
+
+
+class TestLoadTestGate:
+    def test_matching_reports_pass(self, tmp_path, capsys):
+        base = _report(tmp_path / "base.json")
+        current = _report(tmp_path / "cur.json")
+        assert loadtest_gate_main(["--report", str(current),
+                                   "--baseline", str(base)]) == 0
+
+    def test_p95_regression_fails(self, tmp_path):
+        base = _report(tmp_path / "base.json", p95=0.010)
+        current = _report(tmp_path / "cur.json", p95=0.080)  # 8x and >floor
+        assert loadtest_gate_main(["--report", str(current),
+                                   "--baseline", str(base)]) == 1
+
+    def test_abs_floor_shields_fast_paths(self, tmp_path):
+        # 10x ratio but only +4.5ms absolute: runner noise, not a regression
+        base = _report(tmp_path / "base.json", p95=0.0005)
+        current = _report(tmp_path / "cur.json", p95=0.005)
+        assert loadtest_gate_main(["--report", str(current),
+                                   "--baseline", str(base)]) == 0
+
+    def test_throughput_collapse_fails(self, tmp_path):
+        base = _report(tmp_path / "base.json", throughput=10.0)
+        current = _report(tmp_path / "cur.json", throughput=1.0)
+        assert loadtest_gate_main(["--report", str(current),
+                                   "--baseline", str(base)]) == 1
+
+    def test_failed_requests_fail_the_gate(self, tmp_path):
+        base = _report(tmp_path / "base.json")
+        current = _report(tmp_path / "cur.json", failed=3)
+        assert loadtest_gate_main(["--report", str(current),
+                                   "--baseline", str(base)]) == 1
+
+    def test_too_few_samples_produce_no_verdict(self, tmp_path, capsys):
+        base = _report(tmp_path / "base.json")
+        current = _report(tmp_path / "cur.json", completed=3, p95=9.9)
+        assert loadtest_gate_main(["--report", str(current),
+                                   "--baseline", str(base)]) == 0
+        assert "no verdict" in capsys.readouterr().out

@@ -328,14 +328,14 @@ class TestBenchmarkRunner:
                                                      tmp_path):
         # regression: saved result logs could not tell cache hits from fresh
         # runs — the runner now stamps each record with the fabric's verdict
-        from repro.exec import ExecutionOptions
+        from repro.exec import ExecutorPolicy
 
-        options = ExecutionOptions(cache=str(tmp_path / "cache"))
-        first = BenchmarkRunner(small_benchmark_config, execution=options) \
+        options = ExecutorPolicy.serial(cache=str(tmp_path / "cache"))
+        first = BenchmarkRunner(small_benchmark_config, policy=options) \
             .run_application("malt", models=["gpt-4"], backends=["networkx"])
         assert all(not r.cached for r in first.logger.records)
 
-        second = BenchmarkRunner(small_benchmark_config, execution=options) \
+        second = BenchmarkRunner(small_benchmark_config, policy=options) \
             .run_application("malt", models=["gpt-4"], backends=["networkx"])
         assert all(r.cached for r in second.logger.records)
         # the flag is telemetry: verdicts and the saved log's shape agree

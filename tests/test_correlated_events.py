@@ -17,7 +17,7 @@ from repro.benchmark import (
     temporal_query_by_id,
 )
 from repro.cli import main
-from repro.exec import ExecutionOptions
+from repro.exec import ExecutorPolicy
 from repro.exec.workers import clear_worker_contexts
 from repro.graph import PropertyGraph
 from repro.scenarios import (
@@ -436,7 +436,7 @@ class TestBenchmarkIntegration:
         # --jobs 2, byte-identical per-snapshot accuracy tables
         serial = BenchmarkRunner(BenchmarkConfig())
         parallel = BenchmarkRunner(BenchmarkConfig(),
-                                   execution=ExecutionOptions(jobs=2))
+                                   policy=ExecutorPolicy.processes(jobs=2))
         report_serial = serial.run_temporal_suite(
             scenarios=list(CORRELATED_SCENARIOS), models=["gpt-4", "bard"])
         report_parallel = parallel.run_temporal_suite(

@@ -9,7 +9,7 @@ import pytest
 
 from repro.benchmark.runner import BenchmarkConfig, BenchmarkRunner
 from repro.cost import CostAnalyzer
-from repro.exec import ExecutionOptions, ResultCache
+from repro.exec import ExecutorPolicy, ResultCache
 
 MODELS = ["gpt-4", "bard"]
 
@@ -23,7 +23,7 @@ class TestBenchmarkEquivalence:
     def test_serial_and_parallel_grids_are_byte_identical(self):
         serial = BenchmarkRunner(small_config())
         parallel = BenchmarkRunner(small_config(),
-                                   execution=ExecutionOptions(jobs=2))
+                                   policy=ExecutorPolicy.processes(jobs=2))
         report_serial = serial.run_application(
             "traffic_analysis", backends=("networkx", "pandas"), models=MODELS)
         report_parallel = parallel.run_application(
@@ -42,7 +42,7 @@ class TestBenchmarkEquivalence:
     def test_scenario_suite_equivalence(self):
         serial = BenchmarkRunner(small_config())
         parallel = BenchmarkRunner(small_config(),
-                                   execution=ExecutionOptions(jobs=2))
+                                   policy=ExecutorPolicy.processes(jobs=2))
         reports_serial = serial.run_scenario_suite(models=["gpt-4"])
         reports_parallel = parallel.run_scenario_suite(models=["gpt-4"])
         assert set(reports_serial) == set(reports_parallel)
@@ -55,13 +55,13 @@ class TestBenchmarkEquivalence:
     def test_cached_rerun_is_identical_and_executes_nothing(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         warm = BenchmarkRunner(small_config(),
-                               execution=ExecutionOptions(jobs=2, cache=cache))
+                               policy=ExecutorPolicy.processes(jobs=2, cache=cache))
         first = warm.run_application("traffic_analysis", backends=("networkx",),
                                      models=MODELS)
         assert warm.last_run_report.executed == len(warm.last_run_report.results)
 
         cached = BenchmarkRunner(small_config(),
-                                 execution=ExecutionOptions(jobs=1, cache=cache))
+                                 policy=ExecutorPolicy.serial(cache=cache))
         second = cached.run_application("traffic_analysis", backends=("networkx",),
                                         models=MODELS)
         assert cached.last_run_report.executed == 0
@@ -78,11 +78,11 @@ class TestBenchmarkEquivalence:
     def test_config_change_invalidates_cache(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         BenchmarkRunner(small_config(),
-                        execution=ExecutionOptions(cache=cache)).run_application(
+                        policy=ExecutorPolicy.serial(cache=cache)).run_application(
             "traffic_analysis", backends=("networkx",), models=["gpt-4"])
         resized = BenchmarkRunner(
             BenchmarkConfig(traffic_node_count=24, traffic_edge_count=24),
-            execution=ExecutionOptions(cache=cache))
+            policy=ExecutorPolicy.serial(cache=cache))
         resized.run_application("traffic_analysis", backends=("networkx",),
                                 models=["gpt-4"])
         # a different graph size is a different computation: no stale reuse
@@ -92,20 +92,20 @@ class TestBenchmarkEquivalence:
 class TestCostEquivalence:
     def test_scalability_sweep_identical(self):
         serial = CostAnalyzer()
-        parallel = CostAnalyzer(execution=ExecutionOptions(jobs=2))
+        parallel = CostAnalyzer(policy=ExecutorPolicy.processes(jobs=2))
         assert (serial.scalability_sweep(graph_sizes=(40, 80, 120))
                 == parallel.scalability_sweep(graph_sizes=(40, 80, 120)))
 
     def test_scenario_cost_sweep_identical(self):
         serial = CostAnalyzer()
-        parallel = CostAnalyzer(execution=ExecutionOptions(jobs=2))
+        parallel = CostAnalyzer(policy=ExecutorPolicy.processes(jobs=2))
         assert serial.scenario_cost_sweep() == parallel.scenario_cost_sweep()
 
     def test_cost_cache_roundtrip(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
-        warm = CostAnalyzer(execution=ExecutionOptions(jobs=2, cache=cache))
+        warm = CostAnalyzer(policy=ExecutorPolicy.processes(jobs=2, cache=cache))
         points = warm.scenario_cost_sweep()
-        replay = CostAnalyzer(execution=ExecutionOptions(cache=cache))
+        replay = CostAnalyzer(policy=ExecutorPolicy.serial(cache=cache))
         assert replay.scenario_cost_sweep() == points
         assert replay.last_run_report.executed == 0
 

@@ -1,0 +1,206 @@
+"""Tests for :class:`repro.exec.ExecutorPolicy` and the policy-era API.
+
+Covers mode resolution (fixed modes, ``auto`` per task-set profile and
+host core count), the thread executor's byte-identity with serial runs on
+both the static benchmark and the temporal suite, worker-context retention
+(``keep_contexts``), and the one-release deprecation shims for the
+pre-policy ``jobs``/``cache``/``chunk_size`` kwargs.
+"""
+
+import pytest
+
+from repro.benchmark.runner import BenchmarkConfig, BenchmarkRunner
+from repro.cost import CostAnalyzer
+from repro.exec import (
+    PROFILE_CPU,
+    PROFILE_LATENCY,
+    ExecutorPolicy,
+    ParallelExecutor,
+    SerialExecutor,
+    Task,
+    TaskSet,
+    ThreadExecutor,
+    run_tasks,
+)
+from repro.exec.api import ExecutionOptions, run_with_options
+from repro.exec.workers import _CONTEXT_CACHE, clear_worker_contexts
+from repro.utils.validation import ValidationError
+
+
+def square_tasks(count=8, profile=PROFILE_CPU):
+    return TaskSet(name="squares", profile=profile, tasks=[
+        Task(key=f"sq/{index}", fn="repro.exec.demo:square", payload={"x": index})
+        for index in range(count)])
+
+
+def small_config():
+    return BenchmarkConfig(traffic_node_count=20, traffic_edge_count=20)
+
+
+# ---------------------------------------------------------------------------
+# mode resolution
+# ---------------------------------------------------------------------------
+class TestModeResolution:
+    def test_jobs_one_always_resolves_serial(self):
+        tasks = square_tasks(profile=PROFILE_LATENCY)
+        for mode in ("auto", "serial", "threads", "processes"):
+            assert ExecutorPolicy(mode=mode, jobs=1).resolve_mode(tasks) == "serial"
+
+    def test_fixed_modes_resolve_to_themselves(self):
+        tasks = square_tasks()
+        assert ExecutorPolicy(mode="threads", jobs=2).resolve_mode(tasks) == "threads"
+        assert ExecutorPolicy(mode="processes", jobs=2).resolve_mode(
+            tasks, cpu_count=1) == "processes"
+
+    def test_auto_single_task_never_leaves_the_process(self):
+        assert ExecutorPolicy(mode="auto", jobs=4).resolve_mode(
+            square_tasks(count=1, profile=PROFILE_LATENCY)) == "serial"
+
+    def test_auto_latency_profile_picks_threads(self):
+        assert ExecutorPolicy(mode="auto", jobs=2).resolve_mode(
+            square_tasks(profile=PROFILE_LATENCY), cpu_count=1) == "threads"
+
+    def test_auto_cpu_profile_needs_spare_cores(self):
+        policy = ExecutorPolicy(mode="auto", jobs=2)
+        tasks = square_tasks(profile=PROFILE_CPU)
+        assert policy.resolve_mode(tasks, cpu_count=1) == "serial"
+        assert policy.resolve_mode(tasks, cpu_count=4) == "processes"
+
+    def test_build_executor_matches_resolution(self):
+        tasks = square_tasks(profile=PROFILE_LATENCY)
+        assert isinstance(ExecutorPolicy.serial().build_executor(tasks),
+                          SerialExecutor)
+        assert isinstance(ExecutorPolicy.threads(jobs=2).build_executor(tasks),
+                          ThreadExecutor)
+        assert isinstance(
+            ExecutorPolicy.processes(jobs=2).build_executor(tasks, cpu_count=1),
+            ParallelExecutor)
+        assert isinstance(
+            ExecutorPolicy.auto(jobs=2).build_executor(tasks, cpu_count=1),
+            ThreadExecutor)
+
+    def test_from_legacy_is_never_auto(self):
+        assert ExecutorPolicy.from_legacy(jobs=1).mode == "serial"
+        assert ExecutorPolicy.from_legacy(jobs=4).mode == "processes"
+
+    def test_validate_rejects_bad_values(self):
+        with pytest.raises(ValidationError):
+            ExecutorPolicy(mode="gpu").validate()
+        with pytest.raises(ValidationError):
+            ExecutorPolicy(jobs=0).validate()
+        with pytest.raises(ValidationError):
+            ExecutorPolicy(chunk_size=0).validate()
+
+    def test_profile_is_advisory_not_digest_material(self):
+        # the same task under differently-profiled sets digests identically:
+        # executor choice can never invalidate the cache
+        cpu = square_tasks(profile=PROFILE_CPU)
+        latency = square_tasks(profile=PROFILE_LATENCY)
+        assert [t.digest() for t in cpu] == [t.digest() for t in latency]
+
+    def test_task_set_rejects_unknown_profile(self):
+        with pytest.raises(ValidationError):
+            square_tasks(profile="gpu").validate()
+
+
+# ---------------------------------------------------------------------------
+# thread-executor byte-identity
+# ---------------------------------------------------------------------------
+class TestThreadEquivalence:
+    def test_threads_match_serial_on_demo_tasks(self):
+        tasks = square_tasks(count=13)
+        serial = run_tasks(tasks, policy=ExecutorPolicy.serial())
+        threaded = run_tasks(tasks, policy=ExecutorPolicy.threads(jobs=3))
+        assert serial.values() == threaded.values()
+        assert [r.key for r in threaded.results] == [t.key for t in tasks]
+
+    def test_threads_match_serial_on_benchmark_suite(self):
+        serial = BenchmarkRunner(small_config())
+        threaded = BenchmarkRunner(small_config(),
+                                   policy=ExecutorPolicy.threads(jobs=2))
+        report_serial = serial.run_application(
+            "traffic_analysis", backends=("networkx",), models=["gpt-4"])
+        report_threaded = threaded.run_application(
+            "traffic_analysis", backends=("networkx",), models=["gpt-4"])
+        assert (report_serial.render_summary()
+                == report_threaded.render_summary())
+        assert (report_serial.logger.to_records()
+                == report_threaded.logger.to_records())
+
+    def test_threads_match_serial_on_temporal_suite(self):
+        serial = BenchmarkRunner(BenchmarkConfig())
+        threaded = BenchmarkRunner(BenchmarkConfig(),
+                                   policy=ExecutorPolicy.threads(jobs=2))
+        report_serial = serial.run_temporal_suite(
+            scenarios=["fat-tree-failover"], models=["gpt-4"])
+        report_threaded = threaded.run_temporal_suite(
+            scenarios=["fat-tree-failover"], models=["gpt-4"])
+        assert (report_serial.render_summary()
+                == report_threaded.render_summary())
+        assert (report_serial.logger.to_records()
+                == report_threaded.logger.to_records())
+
+
+# ---------------------------------------------------------------------------
+# worker-context retention
+# ---------------------------------------------------------------------------
+class TestContextRetention:
+    def test_in_process_runs_clear_contexts_by_default(self):
+        BenchmarkRunner(small_config()).run_application(
+            "traffic_analysis", backends=("networkx",), models=["gpt-4"])
+        assert not _CONTEXT_CACHE
+
+    def test_keep_contexts_retains_memos_across_runs(self):
+        runner = BenchmarkRunner(
+            small_config(), policy=ExecutorPolicy.serial(keep_contexts=True))
+        try:
+            runner.run_application("traffic_analysis", backends=("networkx",),
+                                   models=["gpt-4"])
+            assert _CONTEXT_CACHE  # the warm path the serve layer relies on
+        finally:
+            clear_worker_contexts()
+
+
+# ---------------------------------------------------------------------------
+# deprecation shims (one release)
+# ---------------------------------------------------------------------------
+class TestDeprecationShims:
+    def test_run_tasks_legacy_kwargs_warn_and_match_policy(self):
+        tasks = square_tasks()
+        with pytest.warns(DeprecationWarning, match="policy=ExecutorPolicy"):
+            legacy = run_tasks(tasks, jobs=2)
+        fresh = run_tasks(tasks, policy=ExecutorPolicy.processes(jobs=2))
+        assert legacy.values() == fresh.values()
+
+    def test_run_tasks_rejects_policy_plus_legacy_kwargs(self):
+        with pytest.raises(ValidationError, match="both policy="):
+            run_tasks(square_tasks(), jobs=2, policy=ExecutorPolicy.serial())
+
+    def test_run_with_options_warns_and_matches(self):
+        tasks = square_tasks()
+        with pytest.warns(DeprecationWarning, match="run_with_options"):
+            legacy = run_with_options(tasks, ExecutionOptions(jobs=2))
+        assert legacy.values() == run_tasks(tasks).values()
+
+    def test_execution_options_to_policy_mirrors_legacy(self):
+        policy = ExecutionOptions(jobs=3, cache="somewhere").to_policy()
+        assert policy.mode == "processes"
+        assert policy.jobs == 3
+        assert policy.cache == "somewhere"
+
+    def test_benchmark_runner_execution_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="policy=ExecutorPolicy"):
+            runner = BenchmarkRunner(small_config(),
+                                     execution=ExecutionOptions(jobs=2))
+        assert runner.policy.mode == "processes"
+        with pytest.raises(ValidationError):
+            BenchmarkRunner(small_config(), execution=ExecutionOptions(),
+                            policy=ExecutorPolicy.serial())
+
+    def test_cost_analyzer_execution_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="policy=ExecutorPolicy"):
+            analyzer = CostAnalyzer(execution=ExecutionOptions(jobs=2))
+        assert analyzer.policy.mode == "processes"
+        with pytest.raises(ValidationError):
+            CostAnalyzer(execution=ExecutionOptions(),
+                         policy=ExecutorPolicy.serial())

@@ -12,7 +12,7 @@ from pathlib import Path
 import pytest
 
 from repro.benchmark import BenchmarkConfig, BenchmarkRunner
-from repro.exec import ExecutionOptions, ParallelExecutor, Task
+from repro.exec import ExecutorPolicy, ParallelExecutor, Task
 from repro.obs import (
     Histogram,
     MetricsRegistry,
@@ -377,7 +377,7 @@ class TestInertness:
         enable_tracing()
         serial = BenchmarkRunner(BenchmarkConfig())
         parallel = BenchmarkRunner(BenchmarkConfig(),
-                                   execution=ExecutionOptions(jobs=2))
+                                   policy=ExecutorPolicy.processes(jobs=2))
         report_serial = serial.run_temporal_suite(
             scenarios=["fat-tree-failover"], models=["gpt-4"])
         report_parallel = parallel.run_temporal_suite(

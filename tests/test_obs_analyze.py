@@ -16,7 +16,7 @@ import pytest
 
 from repro.benchmark import BenchmarkConfig, BenchmarkRunner
 from repro.cli.main import main
-from repro.exec import ExecutionOptions
+from repro.exec import ExecutorPolicy
 from repro.obs import (
     MetricsRegistry,
     ResourceSampler,
@@ -323,7 +323,7 @@ class TestResourceSampling:
     def test_workers_sample_when_enabled_and_results_stay_identical(self):
         enable_sampling()
         parallel = BenchmarkRunner(BenchmarkConfig(),
-                                   execution=ExecutionOptions(jobs=2))
+                                   policy=ExecutorPolicy.processes(jobs=2))
         report_parallel = parallel.run_temporal_suite(
             scenarios=["fat-tree-failover"], models=["gpt-4"])
         snapshot = default_registry().snapshot()

@@ -21,7 +21,7 @@ from repro.benchmark import (
 from repro.benchmark.queries import temporal_bucket_size
 from repro.benchmark.tasks import run_temporal_cell, temporal_cell_task
 from repro.cli import main
-from repro.exec import ExecutionOptions, ResultCache
+from repro.exec import ExecutorPolicy, ResultCache
 from repro.exec.workers import clear_worker_contexts
 from repro.scenarios import get_scenario, replay_scenario
 from repro.synthesis.reference import (
@@ -256,7 +256,7 @@ class TestTemporalCells:
     def test_serial_and_parallel_suites_are_byte_identical(self):
         serial = BenchmarkRunner(BenchmarkConfig())
         parallel = BenchmarkRunner(BenchmarkConfig(),
-                                   execution=ExecutionOptions(jobs=2))
+                                   policy=ExecutorPolicy.processes(jobs=2))
         report_serial = serial.run_temporal_suite(models=["gpt-4", "bard"])
         report_parallel = parallel.run_temporal_suite(models=["gpt-4", "bard"])
         assert report_serial.render_summary() == report_parallel.render_summary()
@@ -269,11 +269,11 @@ class TestTemporalCells:
     def test_cached_rerun_reproduces_the_tables(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         first = BenchmarkRunner(BenchmarkConfig(),
-                                execution=ExecutionOptions(cache=cache))
+                                policy=ExecutorPolicy.serial(cache=cache))
         report_first = first.run_temporal_suite(models=["gpt-4"])
         assert first.last_run_report.cache_hits == 0
         second = BenchmarkRunner(BenchmarkConfig(),
-                                 execution=ExecutionOptions(cache=cache))
+                                 policy=ExecutorPolicy.serial(cache=cache))
         report_second = second.run_temporal_suite(models=["gpt-4"])
         assert second.last_run_report.cache_hits == len(temporal_queries())
         assert report_first.render_summary() == report_second.render_summary()

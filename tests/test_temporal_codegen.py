@@ -21,7 +21,7 @@ from repro.benchmark import (
 from repro.benchmark.evaluator import compare_values
 from repro.benchmark.tasks import run_temporal_cell, temporal_cell_task
 from repro.cli import main
-from repro.exec import ExecutionOptions, ResultCache
+from repro.exec import ExecutorPolicy, ResultCache
 from repro.exec.workers import clear_worker_contexts
 from repro.llm.calibration import (
     DEFAULT_CALIBRATION,
@@ -286,7 +286,7 @@ class TestCodegenSuite:
     def test_serial_and_parallel_codegen_suites_are_byte_identical(self):
         serial = BenchmarkRunner(BenchmarkConfig())
         parallel = BenchmarkRunner(BenchmarkConfig(),
-                                   execution=ExecutionOptions(jobs=2))
+                                   policy=ExecutorPolicy.processes(jobs=2))
         kwargs = {"models": ["gpt-4", "bard"],
                   "backends": ["frames", "networkx"]}
         report_serial = serial.run_temporal_suite(**kwargs)
@@ -303,12 +303,12 @@ class TestCodegenSuite:
         kwargs = {"models": ["gpt-4"], "backends": ["networkx"],
                   "scenarios": ["fat-tree-failover", "malt-chassis-drain"]}
         first = BenchmarkRunner(BenchmarkConfig(),
-                                execution=ExecutionOptions(cache=cache))
+                                policy=ExecutorPolicy.serial(cache=cache))
         report_first = first.run_temporal_suite(**kwargs)
         assert first.last_run_report.cache_hits == 0
         clear_worker_contexts()
         second = BenchmarkRunner(BenchmarkConfig(),
-                                 execution=ExecutionOptions(cache=cache))
+                                 policy=ExecutorPolicy.serial(cache=cache))
         report_second = second.run_temporal_suite(**kwargs)
         assert second.last_run_report.cache_hits == len(report_second.logger)
         assert report_first.render_summary() == report_second.render_summary()
