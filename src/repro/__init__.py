@@ -21,6 +21,6 @@ The package layers, bottom-up:
 See ``DESIGN.md`` for the full system inventory and the experiment index.
 """
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = ["__version__"]

@@ -5,8 +5,9 @@ byte-identity, obs-layer inertness over digests and cache keys, and
 sandbox-policy safety of generated code — are enforced dynamically by
 tests.  This package proves them at lint time instead: an AST-based rule
 registry with per-rule severity, ``# repro: allow[rule-id]`` suppressions,
-and three rule families (determinism, obs-inertness, template safety).  See
-DESIGN.md §4.8.
+and four rule families (determinism, obs-inertness, template safety, and
+the interprocedural effect contracts built on a project-wide call graph —
+``repro analyze --effects``).  See DESIGN.md §4.8 and §4.10.
 """
 
 from repro.analysis.framework import (
@@ -23,8 +24,21 @@ from repro.analysis.framework import (
     load_context,
 )
 from repro.analysis.reporters import render_human, render_json, summarize
+from repro.analysis.effects import (
+    clear_effect_cache,
+    effect_rule_ids,
+    project_for_root,
+    render_explain,
+)
+from repro.analysis.baseline import (
+    baseline_entries,
+    compare_baseline,
+    load_baseline,
+    write_baseline,
+)
 
-# importing the rule modules registers their rules
+# importing the rule modules registers their rules (effects registers its
+# contract rules as a side effect of the determinism import above)
 from repro.analysis import determinism as _determinism  # noqa: F401
 from repro.analysis import obs_inertness as _obs_inertness  # noqa: F401
 from repro.analysis import templates as _templates  # noqa: F401
@@ -44,4 +58,12 @@ __all__ = [
     "render_human",
     "render_json",
     "summarize",
+    "clear_effect_cache",
+    "effect_rule_ids",
+    "project_for_root",
+    "render_explain",
+    "baseline_entries",
+    "compare_baseline",
+    "load_baseline",
+    "write_baseline",
 ]

@@ -1,0 +1,107 @@
+"""Warning-baseline ratchet for ``repro analyze --baseline``.
+
+Errors always fail the run, but warning-severity findings accumulate in
+working trees faster than anyone fixes them.  The ratchet freezes the
+current warning debt into a committed JSON file keyed by ``rule|path``::
+
+    {
+      "version": 1,
+      "entries": {"det-env-read|src/repro/cli/main.py": 2}
+    }
+
+and then CI fails in exactly two directions:
+
+* a warning **not covered** by the baseline (a new ``rule|path`` key, or a
+  count above the recorded one) — new debt is rejected;
+* a baseline entry that **no longer fires** (stale key, or a count below
+  the recorded one) — the baseline must ratchet *down* with the code, so
+  the debt number only ever shrinks.
+
+Regenerate with ``repro analyze --write-baseline <path>`` after fixing a
+warning (or, deliberately and reviewably, after accepting a new one).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.framework import SEVERITY_WARNING, Finding
+from repro.utils.validation import ValidationError
+
+BASELINE_VERSION = 1
+
+
+def baseline_entries(findings: Iterable[Finding]) -> Dict[str, int]:
+    """Aggregate warning findings into ``rule|path -> count`` entries."""
+    entries: Dict[str, int] = {}
+    for finding in findings:
+        if finding.severity != SEVERITY_WARNING:
+            continue
+        key = f"{finding.rule_id}|{finding.path}"
+        entries[key] = entries.get(key, 0) + 1
+    return entries
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read a baseline file, validating its shape."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"baseline file not found: {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ValidationError(f"baseline {path} is not valid JSON: {error}")
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValidationError(
+            f"baseline {path} must be an object with an 'entries' mapping")
+    entries = payload["entries"]
+    if not isinstance(entries, dict) or not all(
+            isinstance(key, str) and isinstance(value, int) and value > 0
+            for key, value in entries.items()):
+        raise ValidationError(
+            f"baseline {path} entries must map 'rule|path' to positive counts")
+    return dict(entries)
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> Dict[str, int]:
+    """Freeze the current warning findings into *path* (returns entries)."""
+    entries = baseline_entries(findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": {key: entries[key] for key in sorted(entries)},
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return entries
+
+
+def compare_baseline(findings: Iterable[Finding],
+                     baseline: Dict[str, int],
+                     ) -> Tuple[List[str], List[str]]:
+    """Diff current warnings against a baseline.
+
+    Returns ``(new, stale)``: human-readable descriptions of warnings the
+    baseline does not cover, and baseline entries that no longer fire.
+    Both lists empty means the tree matches the frozen debt exactly.
+    """
+    current = baseline_entries(findings)
+    new: List[str] = []
+    stale: List[str] = []
+    for key in sorted(set(current) | set(baseline)):
+        have = current.get(key, 0)
+        allowed = baseline.get(key, 0)
+        rule_id, _, path = key.partition("|")
+        if have > allowed:
+            new.append(
+                f"{path}: {have - allowed} new {rule_id} warning(s) "
+                f"not in baseline ({have} found, {allowed} allowed)")
+        elif have < allowed:
+            stale.append(
+                f"{path}: baseline records {allowed} {rule_id} warning(s) "
+                f"but only {have} fire(s) — regenerate with "
+                f"--write-baseline to ratchet down")
+    return new, stale

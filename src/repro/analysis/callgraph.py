@@ -1,0 +1,559 @@
+"""Project-wide call graph: module-qualified function resolution over imports.
+
+The effect-analysis engine (:mod:`repro.analysis.effects`) needs to answer
+"who can this function call?" across the whole package, not one file at a
+time.  This module builds that graph statically:
+
+* every module-level function, every method of a module-level class, and a
+  ``<module>`` pseudo-function per file (import-time statements) becomes a
+  :class:`FunctionNode` with a stable qualified name ``module:qualname``
+  (``repro.exec.workers:run_task``,
+  ``repro.serve.service:ReproService._dispatch``);
+* calls are resolved through import aliases (``import a.b as c``,
+  ``from a.b import f as g``), through re-export chains (``from repro.obs
+  import span`` resolves into ``repro.obs.trace:span``), through ``self.``/
+  ``cls.`` receivers within a class, and — for dynamic dispatch — through a
+  conservative unique-method heuristic: ``x.golden_for(...)`` binds to
+  ``TemporalGoldenSelector.golden_for`` only when exactly one project class
+  defines that method name and the name is not a builtin-container method;
+* calls that cannot be resolved are kept as :class:`ExternalCall` records
+  (dotted name + location) so the effect engine can match them against its
+  intrinsic-seed tables;
+* **worker roots** (functions referenced by ``"module:function"`` fabric
+  worker strings) and **thread roots** (functions handed to
+  ``Thread(target=...)``, ``pool.submit(...)``, ``loop.run_in_executor``,
+  or ``asyncio.start_server`` callbacks) are discovered while linking, so
+  the concurrency rules know where reachability starts.
+
+Nested functions and lambdas are attributed to their enclosing top-level
+function: a call inside ``lambda: build()`` counts as a call by the function
+that created the lambda.  That deliberately over-approximates "the callee
+may run whenever the caller runs", which is exactly the contract
+``worker_context(key, builder)`` gives its builder.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis import astutil
+
+#: a fabric worker reference: ``package.module:function``
+WORKER_REF_RE = re.compile(r"^[A-Za-z_][\w.]*:[A-Za-z_]\w*$")
+
+#: the per-file pseudo-function holding import-time statements
+MODULE_FUNCTION = "<module>"
+
+#: method names never resolved by the unique-method heuristic: they collide
+#: with builtin container/str/file/concurrency APIs, so a lone project class
+#: defining one must not capture every ``x.name(...)`` call in the tree
+COMMON_METHOD_NAMES = frozenset({
+    "add", "append", "clear", "close", "copy", "count", "decode", "discard",
+    "encode", "endswith", "extend", "flush", "format", "get", "index",
+    "insert", "items", "join", "keys", "lower", "pop", "popitem", "read",
+    "readline", "readlines", "remove", "replace", "reverse", "rsplit",
+    "rstrip", "seek", "set", "setdefault", "sort", "split", "splitlines",
+    "startswith", "strip", "tell", "title", "update", "upper", "values",
+    "wait", "write",
+    "acquire", "release", "cancel", "done", "result", "shutdown", "submit",
+    "is_set", "start", "stop", "run",
+})
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge, anchored at its source location."""
+
+    target: str
+    lineno: int
+    col: int
+
+
+@dataclass(frozen=True)
+class ExternalCall:
+    """A call the graph cannot resolve to a project function.
+
+    ``dotted`` is the best available name: the alias-substituted dotted path
+    (``time.time``, ``os.path.exists``), a bare name (``sorted``), or —
+    for attribute calls on unknown receivers — ``?.<attr>`` so suffix
+    matching still works.
+    """
+
+    dotted: str
+    lineno: int
+    col: int
+    #: True when the call appears as the first argument of ``sorted(...)``
+    sorted_wrapped: bool = False
+
+
+@dataclass
+class FunctionNode:
+    """One project function (or method, or module pseudo-function)."""
+
+    qualname: str
+    module: str
+    relpath: str
+    name: str
+    lineno: int
+    is_async: bool = False
+    cls: Optional[str] = None
+    calls: List[CallSite] = field(default_factory=list)
+    external_calls: List[ExternalCall] = field(default_factory=list)
+    #: the AST subtree of this function (module AST for ``<module>``)
+    node: Optional[ast.AST] = None
+
+
+@dataclass
+class ModuleInfo:
+    """Per-module symbol tables used during linking."""
+
+    name: str
+    relpath: str
+    path: Path
+    tree: ast.AST
+    #: local alias -> module dotted path (``import a.b as c``)
+    import_modules: Dict[str, str] = field(default_factory=dict)
+    #: local name -> (module, object) (``from a.b import f as g``)
+    import_objects: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: module-level function/method local-quals (``f``, ``Cls.m``)
+    functions: Dict[str, str] = field(default_factory=dict)
+    #: module-level class name -> its method names
+    classes: Dict[str, Set[str]] = field(default_factory=dict)
+    #: every module-level assigned name (the shared-state candidates)
+    global_names: Set[str] = field(default_factory=set)
+
+
+class CallGraph:
+    """The linked project: functions, edges, and concurrency roots."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionNode] = {}
+        #: method bare name -> qualnames defining it (unique-method lookup)
+        self.methods_by_name: Dict[str, List[str]] = {}
+        #: fabric worker entry points ("module:function" references)
+        self.worker_roots: List[str] = []
+        #: functions handed to threads / pools / event-loop callbacks
+        self.thread_roots: List[str] = []
+
+    # ------------------------------------------------------------------
+    def functions_in(self, relpath: str) -> List[FunctionNode]:
+        """Functions defined in one file, in definition order."""
+        nodes = [node for node in self.functions.values()
+                 if node.relpath == relpath]
+        return sorted(nodes, key=lambda node: (node.lineno, node.qualname))
+
+    def callers_of(self) -> Dict[str, List[Tuple[str, CallSite]]]:
+        """Reverse adjacency: callee -> [(caller, site), ...]."""
+        reverse: Dict[str, List[Tuple[str, CallSite]]] = {}
+        for qualname in sorted(self.functions):
+            for site in self.functions[qualname].calls:
+                reverse.setdefault(site.target, []).append((qualname, site))
+        return reverse
+
+    # ------------------------------------------------------------------
+    def resolve_object(self, module: str, name: str,
+                       _seen: Optional[Set[Tuple[str, str]]] = None) -> Optional[str]:
+        """Resolve ``module:name`` through re-export chains to a qualname."""
+        seen = _seen if _seen is not None else set()
+        if (module, name) in seen:
+            return None
+        seen.add((module, name))
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        if name in info.functions:
+            return f"{module}:{info.functions[name]}"
+        if name in info.classes:
+            # calling a class constructs it: bind to __init__ when defined
+            if "__init__" in info.classes[name]:
+                return f"{module}:{name}.__init__"
+            return None
+        if name in info.import_objects:
+            source_module, source_name = info.import_objects[name]
+            return self.resolve_object(source_module, source_name, seen)
+        return None
+
+    def resolve_worker_ref(self, reference: str) -> Optional[str]:
+        """Resolve a ``module:function`` worker string to a graph qualname."""
+        module, _, function_name = reference.partition(":")
+        if f"{module}:{function_name}" in self.functions:
+            return f"{module}:{function_name}"
+        return self.resolve_object(module, function_name)
+
+
+# ---------------------------------------------------------------------------
+# project discovery
+# ---------------------------------------------------------------------------
+def module_name_for(root: Path, relpath: str) -> str:
+    """Dotted module path of *relpath* under *root*.
+
+    The root directory's own name joins the path only when the root is
+    itself a package (has ``__init__.py``): scanning ``src/repro`` yields
+    ``repro.exec.workers``, while scanning ``src`` (or a loose fixture
+    directory) yields the same name from the path parts alone — so
+    ``"module:function"`` worker references resolve either way.
+    """
+    parts = relpath[:-3].split("/") if relpath.endswith(".py") else relpath.split("/")
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    package = root.name if root.is_dir() \
+        and (root / "__init__.py").exists() else None
+    if package:
+        parts = [package] + parts
+    return ".".join(parts) if parts else (package or relpath)
+
+
+def iter_project_files(root: Path) -> Iterator[Tuple[Path, str]]:
+    root = Path(root)
+    if root.is_file():
+        yield root, root.name
+        return
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        yield path, path.relative_to(root).as_posix()
+
+
+def _collect_imports(info: ModuleInfo, known_modules: Set[str]) -> None:
+    """Fill the alias tables (flow-insensitive: function-local imports count)."""
+    package_parts = info.name.split(".")
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    info.import_modules[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    info.import_modules.setdefault(head, head)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # relative import: resolve against this module's package
+                base = package_parts[:-node.level] if node.level <= len(package_parts) else []
+                module = ".".join(base + ([node.module] if node.module else []))
+            else:
+                module = node.module or ""
+            if not module:
+                continue
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if f"{module}.{alias.name}" in known_modules:
+                    info.import_modules[local] = f"{module}.{alias.name}"
+                else:
+                    info.import_objects[local] = (module, alias.name)
+
+
+def _collect_definitions(graph: CallGraph, info: ModuleInfo) -> None:
+    module_body = info.tree.body if isinstance(info.tree, ast.Module) else []
+    for node in module_body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _add_function(graph, info, node, cls=None)
+        elif isinstance(node, ast.ClassDef):
+            methods: Set[str] = set()
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods.add(child.name)
+                    _add_function(graph, info, child, cls=node.name)
+            info.classes[node.name] = methods
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    info.global_names.add(target.id)
+    # the import-time pseudo-function
+    pseudo = FunctionNode(
+        qualname=f"{info.name}:{MODULE_FUNCTION}", module=info.name,
+        relpath=info.relpath, name=MODULE_FUNCTION, lineno=1, node=info.tree)
+    graph.functions[pseudo.qualname] = pseudo
+
+
+def _add_function(graph: CallGraph, info: ModuleInfo,
+                  node: ast.AST, cls: Optional[str]) -> None:
+    local_qual = f"{cls}.{node.name}" if cls else node.name
+    qualname = f"{info.name}:{local_qual}"
+    info.functions[local_qual] = local_qual
+    if cls is None:
+        info.functions[node.name] = node.name
+    graph.functions[qualname] = FunctionNode(
+        qualname=qualname, module=info.name, relpath=info.relpath,
+        name=node.name, lineno=node.lineno,
+        is_async=isinstance(node, ast.AsyncFunctionDef), cls=cls, node=node)
+    if cls is not None:
+        graph.methods_by_name.setdefault(node.name, []).append(qualname)
+
+
+# ---------------------------------------------------------------------------
+# call linking
+# ---------------------------------------------------------------------------
+def walk_owned(owner: ast.AST, *, is_module: bool) -> Iterator[ast.AST]:
+    """Walk the statements *owned* by a function (or module pseudo-function).
+
+    For a module, stop at function/class-method boundaries (those calls
+    belong to the defs themselves); for a function, descend everywhere —
+    nested defs and lambdas run at the enclosing function's behest.
+    """
+    if is_module:
+        stack = list(ast.iter_child_nodes(owner))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+    else:
+        for index, node in enumerate(ast.walk(owner)):
+            if index == 0:
+                continue
+            yield node
+
+
+def _function_ref_target(graph: CallGraph, info: ModuleInfo,
+                         owner: FunctionNode, node: ast.AST) -> Optional[str]:
+    """Resolve a *function reference* expression (not a call) to a qualname."""
+    if isinstance(node, ast.Name):
+        return _resolve_name_call(graph, info, node.id)
+    if isinstance(node, ast.Attribute):
+        dotted = astutil.dotted_name(node)
+        if dotted and owner.cls is not None:
+            head, _, attr = dotted.partition(".")
+            if head in ("self", "cls") and attr and "." not in attr:
+                if attr in info.classes.get(owner.cls, ()):
+                    return f"{info.name}:{owner.cls}.{attr}"
+        if dotted:
+            return _resolve_dotted_call(graph, info, dotted)
+    return None
+
+
+def _resolve_name_call(graph: CallGraph, info: ModuleInfo,
+                       name: str) -> Optional[str]:
+    if name in info.functions and "." not in info.functions[name]:
+        return f"{info.name}:{name}"
+    if name in info.classes:
+        return graph.resolve_object(info.name, name)
+    if name in info.import_objects:
+        module, object_name = info.import_objects[name]
+        return graph.resolve_object(module, object_name)
+    return None
+
+
+def _resolve_dotted_call(graph: CallGraph, info: ModuleInfo,
+                         dotted: str) -> Optional[str]:
+    """Resolve ``alias.attr[.attr]`` through the module alias tables."""
+    head, _, rest = dotted.partition(".")
+    if not rest:
+        return _resolve_name_call(graph, info, head)
+    if head in info.import_modules:
+        full = info.import_modules[head] + "." + rest
+    elif head in info.classes:
+        # ClassName.method(...) within the defining module
+        attr = rest.split(".")[0]
+        if attr in info.classes[head]:
+            return f"{info.name}:{head}.{attr}"
+        return None
+    else:
+        return None
+    # longest known-module prefix wins; the remainder is the object path
+    parts = full.split(".")
+    for cut in range(len(parts) - 1, 0, -1):
+        module = ".".join(parts[:cut])
+        if module in graph.modules:
+            remainder = parts[cut:]
+            if len(remainder) == 1:
+                return graph.resolve_object(module, remainder[0])
+            if len(remainder) == 2:
+                target = f"{module}:{remainder[0]}.{remainder[1]}"
+                return target if target in graph.functions else None
+            return None
+    return None
+
+
+def _substituted_dotted(info: ModuleInfo, dotted: str) -> str:
+    """Rewrite the leading alias of *dotted* to its real module path."""
+    head, _, rest = dotted.partition(".")
+    real = info.import_modules.get(head)
+    if real and rest:
+        return f"{real}.{rest}"
+    return dotted
+
+
+def _unique_method_target(graph: CallGraph, method: str) -> Optional[str]:
+    if method in COMMON_METHOD_NAMES or method.startswith("__"):
+        return None
+    candidates = graph.methods_by_name.get(method, ())
+    if len(candidates) == 1:
+        return candidates[0]
+    return None
+
+
+def _sorted_wrapped_ids(owner: ast.AST, is_module: bool) -> Set[int]:
+    wrapped: Set[int] = set()
+    nodes = walk_owned(owner, is_module=is_module)
+    for node in nodes:
+        if isinstance(node, ast.Call) and astutil.call_name(node) == "sorted" \
+                and node.args:
+            wrapped.add(id(node.args[0]))
+    return wrapped
+
+
+def _link_function(graph: CallGraph, info: ModuleInfo,
+                   owner: FunctionNode) -> None:
+    is_module = owner.name == MODULE_FUNCTION
+    wrapped = _sorted_wrapped_ids(owner.node, is_module)
+    for node in walk_owned(owner.node, is_module=is_module):
+        if not isinstance(node, ast.Call):
+            continue
+        _link_call(graph, info, owner, node, wrapped)
+
+
+def _link_call(graph: CallGraph, info: ModuleInfo, owner: FunctionNode,
+               call: ast.Call, wrapped: Set[int]) -> None:
+    func = call.func
+    target: Optional[str] = None
+    external: Optional[str] = None
+
+    if isinstance(func, ast.Name):
+        target = _resolve_name_call(graph, info, func.id)
+        if target is None:
+            external = func.id
+    elif isinstance(func, ast.Attribute):
+        dotted = astutil.dotted_name(func)
+        if dotted is not None:
+            head = dotted.split(".")[0]
+            if head in ("self", "cls") and owner.cls is not None:
+                attr = dotted.split(".")[1] if dotted.count(".") >= 1 else ""
+                if dotted.count(".") == 1 \
+                        and attr in info.classes.get(owner.cls, ()):
+                    target = f"{info.name}:{owner.cls}.{attr}"
+                else:
+                    target = _unique_method_target(graph, func.attr)
+            else:
+                target = _resolve_dotted_call(graph, info, dotted)
+                if target is None and head not in info.import_modules \
+                        and head not in info.classes:
+                    # unknown receiver: fall back to dynamic dispatch
+                    target = _unique_method_target(graph, func.attr)
+            if target is None:
+                external = _substituted_dotted(info, dotted)
+        else:
+            # call on a computed receiver: x().attr(...), d[k].attr(...)
+            target = _unique_method_target(graph, func.attr)
+            if target is None:
+                external = f"?.{func.attr}"
+
+    if target is not None:
+        owner.calls.append(CallSite(target=target, lineno=call.lineno,
+                                    col=call.col_offset))
+    elif external is not None:
+        owner.external_calls.append(ExternalCall(
+            dotted=external, lineno=call.lineno, col=call.col_offset,
+            sorted_wrapped=id(call) in wrapped))
+
+    _detect_roots(graph, info, owner, call)
+
+
+#: (callable-name, argument-index) pairs whose argument is run on another
+#: thread or the event loop: Thread(target=...), pool.submit(f, ...),
+#: loop.run_in_executor(pool, f, ...), asyncio.start_server(cb, ...)
+_THREAD_DISPATCHERS = {
+    "submit": 0,
+    "run_in_executor": 1,
+    "start_server": 0,
+}
+
+
+def _detect_roots(graph: CallGraph, info: ModuleInfo, owner: FunctionNode,
+                  call: ast.Call) -> None:
+    name = astutil.call_name(call)
+    candidates: List[ast.AST] = []
+    if name == "Thread":
+        for keyword in call.keywords:
+            if keyword.arg == "target":
+                candidates.append(keyword.value)
+    elif name in _THREAD_DISPATCHERS:
+        index = _THREAD_DISPATCHERS[name]
+        if len(call.args) > index:
+            candidates.append(call.args[index])
+    for candidate in candidates:
+        target = _function_ref_target(graph, info, owner, candidate)
+        if target is not None and target not in graph.thread_roots:
+            graph.thread_roots.append(target)
+
+
+def _detect_worker_roots(graph: CallGraph) -> None:
+    references: Set[str] = set()
+    for module_name in sorted(graph.modules):
+        for node in ast.walk(graph.modules[module_name].tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str) \
+                    and WORKER_REF_RE.match(node.value):
+                references.add(node.value)
+    for reference in sorted(references):
+        target = graph.resolve_worker_ref(reference)
+        if target is not None and target not in graph.worker_roots:
+            graph.worker_roots.append(target)
+            # fabric workers also run under the in-process ThreadExecutor
+            if target not in graph.thread_roots:
+                graph.thread_roots.append(target)
+
+
+# ---------------------------------------------------------------------------
+# the entry point
+# ---------------------------------------------------------------------------
+def build_call_graph(root: Path,
+                     single_relpath: Optional[str] = None) -> CallGraph:
+    """Parse and link every python file under *root* into a :class:`CallGraph`.
+
+    *single_relpath* overrides the scope path when *root* is one file (the
+    fixture tests analyze a lone file under a synthetic relpath).
+    """
+    root = Path(root)
+    graph = CallGraph()
+    parsed: List[ModuleInfo] = []
+    for path, relpath in iter_project_files(root):
+        if single_relpath is not None:
+            relpath = single_relpath
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"),
+                             filename=str(path))
+        except SyntaxError:
+            continue  # analyze_file reports the parse error separately
+        info = ModuleInfo(name=module_name_for(root, relpath)
+                          if root.is_dir() else path.stem,
+                          relpath=relpath, path=path, tree=tree)
+        graph.modules[info.name] = info
+        parsed.append(info)
+
+    known_modules = set(graph.modules)
+    for info in parsed:
+        _collect_imports(info, known_modules)
+        _collect_definitions(graph, info)
+    for info in parsed:
+        for local_qual in sorted(set(info.functions.values())):
+            owner = graph.functions.get(f"{info.name}:{local_qual}")
+            if owner is not None and not owner.calls:
+                _link_function(graph, info, owner)
+        _link_function(graph, info,
+                       graph.functions[f"{info.name}:{MODULE_FUNCTION}"])
+    _detect_worker_roots(graph)
+    graph.thread_roots.sort()
+    graph.worker_roots.sort()
+    return graph
+
+
+def project_root_for(path: Path, relpath: str) -> Tuple[Path, Optional[str]]:
+    """Derive the project root from a file and its scope path.
+
+    When the file's real path ends with its scope path the project is the
+    tree above it (``.../src/repro`` for ``exec/workers.py``); otherwise the
+    file stands alone (fixtures analyzed under synthetic scope paths) and
+    the scope path is carried through for rule matching.
+    """
+    path = Path(path).resolve()
+    posix = path.as_posix()
+    if posix.endswith("/" + relpath):
+        return Path(posix[:-(len(relpath) + 1)]), None
+    return path, relpath

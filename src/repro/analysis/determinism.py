@@ -18,7 +18,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Set
 
-from repro.analysis import astutil
+from repro.analysis import astutil, effects
 from repro.analysis.framework import (
     SEVERITY_ERROR,
     SEVERITY_WARNING,
@@ -29,8 +29,10 @@ from repro.analysis.framework import (
 )
 
 #: modules that run inside sweep workers or feed digests/cache keys;
-#: ``api.py`` hosts the facade's worker (``run_api_cell``) and ``serve/``
-#: answers concurrent requests through it, so both inherit the contract
+#: ``api.py`` hosts the facade's worker (``run_api_cell``), ``serve/``
+#: answers concurrent requests through it, and ``obs/`` rides along inside
+#: workers (spans/metrics merge into result envelopes), so all inherit the
+#: contract
 DETERMINISM_SCOPE = (
     "exec/",
     "api.py",
@@ -39,6 +41,7 @@ DETERMINISM_SCOPE = (
     "scenarios/engine.py",
     "graph/",
     "serve/",
+    "obs/",
 )
 
 #: canonical-JSON scope: everywhere a ``json.dumps`` lands in an artifact a
@@ -50,32 +53,17 @@ JSON_SCOPE = DETERMINISM_SCOPE + (
     "techniques/",
 )
 
-#: directory-enumeration calls whose result order is filesystem-dependent
-_LISTING_CALLS = {"listdir", "scandir", "iterdir", "glob", "rglob"}
-
-#: wall-clock reads (monotonic clocks used for telemetry durations are fine)
-_WALLCLOCK_CALLS = {
-    "time.time", "time.time_ns",
-    "datetime.now", "datetime.utcnow", "datetime.today",
-    "datetime.datetime.now", "datetime.datetime.utcnow",
-    "date.today", "datetime.date.today",
-}
-
-#: process-global RNG entry points (a seeded ``random.Random`` is fine)
-_GLOBAL_RANDOM_FUNCS = {
-    "random", "randint", "randrange", "choice", "choices", "shuffle",
-    "sample", "uniform", "gauss", "normalvariate", "expovariate",
-    "betavariate", "triangular",
-}
+# the pattern tables are shared with the interprocedural effect engine
+# (repro.analysis.effects seeds its lattice from the same sets), so a
+# pattern added there tightens both the flat and the transitive checks
+_LISTING_CALLS = effects.LISTING_CALLS
+_WALLCLOCK_CALLS = effects.WALLCLOCK_CALLS
+_GLOBAL_RANDOM_FUNCS = effects.GLOBAL_RANDOM_FUNCS
 
 
 def _sorted_wrapped_args(tree: ast.AST) -> Set[int]:
-    """ids of AST nodes appearing as the first argument of ``sorted(...)``."""
-    wrapped: Set[int] = set()
-    for call in astutil.walk_calls(tree):
-        if astutil.call_name(call) == "sorted" and call.args:
-            wrapped.add(id(call.args[0]))
-    return wrapped
+    """ids of AST nodes inside the first argument of any ``sorted(...)``."""
+    return effects.sorted_wrapped_ids(list(ast.walk(tree)))
 
 
 @rule("det-unsorted-listing", severity=SEVERITY_ERROR, scope=DETERMINISM_SCOPE,

@@ -318,6 +318,21 @@ def build_parser() -> argparse.ArgumentParser:
                               "(human format; JSON always carries them)")
     analyze.add_argument("--list-rules", action="store_true",
                          help="list registered rules and exit")
+    analyze.add_argument("--effects", action="store_true",
+                         help="run only the interprocedural effect-contract "
+                              "rules (call-graph effect inference)")
+    analyze.add_argument("--explain", default=None, metavar="FUNCTION",
+                         help="print the inferred effects of FUNCTION "
+                              "(module:function, e.g. repro.benchmark.tasks:"
+                              "run_benchmark_cell) with the call chain "
+                              "carrying each effect, then exit")
+    analyze.add_argument("--baseline", default=None, metavar="PATH",
+                         help="ratchet mode: fail on warnings not recorded "
+                              "in this baseline JSON, and on baseline "
+                              "entries that no longer fire")
+    analyze.add_argument("--write-baseline", default=None, metavar="PATH",
+                         help="freeze the current warning findings into a "
+                              "baseline JSON at PATH")
 
     serve = subparsers.add_parser(
         "serve", help="run the concurrent query-answering HTTP daemon")
@@ -795,6 +810,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     rule_ids = None
     if args.rules:
         rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
+    if args.effects:
+        if rule_ids is not None:
+            raise ValidationError("--effects already selects the effect "
+                                  "rules; drop --rules or --effects")
+        rule_ids = analysis.effect_rule_ids()
     rules = analysis.get_rules(rule_ids)
 
     if args.list_rules:
@@ -808,10 +828,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     else:
         import repro
         roots = [Path(repro.__file__).parent]
-    findings = []
     for root in roots:
         if not root.exists():
             raise ValidationError(f"no such file or directory: {root}")
+
+    if args.explain:
+        blocks = [analysis.render_explain(analysis.project_for_root(root),
+                                          args.explain)
+                  for root in roots]
+        print("\n\n".join(blocks))
+        return 0
+
+    findings = []
+    for root in roots:
         findings.extend(analysis.analyze_tree(root, rules=rules))
     findings.sort(key=lambda finding: finding.sort_key())
 
@@ -820,7 +849,27 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     else:
         print(analysis.render_human(findings, rules,
                                     show_suggestions=args.fix_suggestions))
-    return 1 if analysis.has_errors(findings) else 0
+
+    if args.write_baseline:
+        entries = analysis.write_baseline(Path(args.write_baseline), findings)
+        print(f"baseline: froze {sum(entries.values())} warning(s) across "
+              f"{len(entries)} rule/path pair(s) into {args.write_baseline}",
+              file=sys.stderr)
+
+    exit_code = 1 if analysis.has_errors(findings) else 0
+    if args.baseline:
+        recorded = analysis.load_baseline(Path(args.baseline))
+        new, stale = analysis.compare_baseline(findings, recorded)
+        for line in new:
+            print(f"baseline: NEW {line}", file=sys.stderr)
+        for line in stale:
+            print(f"baseline: STALE {line}", file=sys.stderr)
+        if new or stale:
+            exit_code = 1
+        else:
+            print(f"baseline: ok ({sum(recorded.values())} recorded "
+                  f"warning(s) unchanged)", file=sys.stderr)
+    return exit_code
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:

@@ -262,6 +262,7 @@ class MetricsRegistry:
 # the process-wide default registry
 # ---------------------------------------------------------------------------
 _default_registry = MetricsRegistry()
+_install_lock = threading.Lock()
 
 
 def default_registry() -> MetricsRegistry:
@@ -269,8 +270,14 @@ def default_registry() -> MetricsRegistry:
 
 
 def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
-    """Install *registry* as the process default; returns the previous one."""
+    """Install *registry* as the process default; returns the previous one.
+
+    The install point is reachable from thread-pool workers (observation
+    merge), so the swap is serialized: two concurrent installs must not
+    both read the same "previous" registry and leak one replacement.
+    """
     global _default_registry  # noqa: PLW0603 - process-global install point
-    previous = _default_registry
-    _default_registry = registry
-    return previous
+    with _install_lock:
+        previous = _default_registry
+        _default_registry = registry
+        return previous

@@ -78,8 +78,10 @@ class Tracer:
         self._spans: List[Span] = []
         self._lock = threading.Lock()
         self._next_id = 1
-        #: offset turning perf-counter readings into wall-clock seconds
-        self.wall_offset = time.time() - time.perf_counter()
+        #: offset turning perf-counter readings into wall-clock seconds;
+        #: used only to place exported Chrome trace events on a real
+        #: timeline — span durations, digests, and result bytes never see it
+        self.wall_offset = time.time() - time.perf_counter()  # repro: allow[det-wallclock]
 
     # ------------------------------------------------------------------
     def allocate_id(self) -> int:
@@ -152,6 +154,7 @@ class Tracer:
 # the process-wide tracer
 # ---------------------------------------------------------------------------
 _tracer = Tracer()
+_install_lock = threading.Lock()
 
 
 def get_tracer() -> Tracer:
@@ -159,11 +162,17 @@ def get_tracer() -> Tracer:
 
 
 def set_tracer(tracer: Tracer) -> Tracer:
-    """Install *tracer* as the process tracer; returns the previous one."""
+    """Install *tracer* as the process tracer; returns the previous one.
+
+    Worker threads re-install tracers when merging cross-process spans, so
+    the swap is serialized — two concurrent installs must not both read the
+    same "previous" tracer and leak one of the replacements.
+    """
     global _tracer  # noqa: PLW0603 - process-global install point
-    previous = _tracer
-    _tracer = tracer
-    return previous
+    with _install_lock:
+        previous = _tracer
+        _tracer = tracer
+        return previous
 
 
 def enable_tracing() -> None:

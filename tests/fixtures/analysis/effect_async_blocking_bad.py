@@ -1,0 +1,20 @@
+"""Bad: a serve/ coroutine reaches time.sleep through an indirect call.
+
+The coroutine itself calls a plain helper, which throttles — so the whole
+event loop stalls for every connection while one request sleeps.
+"""
+
+import time
+
+
+async def handle_query(request):
+    return _answer(request)
+
+
+def _answer(request):
+    _throttle()
+    return {"ok": True, "request": request}
+
+
+def _throttle():
+    time.sleep(0.05)

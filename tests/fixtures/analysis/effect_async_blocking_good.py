@@ -1,0 +1,21 @@
+"""Good: the blocking helper is dispatched off-loop via run_in_executor.
+
+Handing ``_answer`` to the executor creates no call edge from the
+coroutine, so the blocking effect stays on the worker thread where it
+belongs.
+"""
+
+import time
+
+
+async def handle_query(loop, pool, request):
+    return await loop.run_in_executor(pool, _answer, request)
+
+
+def _answer(request):
+    _throttle()
+    return {"ok": True, "request": request}
+
+
+def _throttle():
+    time.sleep(0.05)

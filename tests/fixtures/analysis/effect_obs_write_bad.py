@@ -1,0 +1,11 @@
+"""Bad: an obs helper (outside the exporter files) writes the filesystem."""
+
+import json
+
+
+def record_snapshot(document, path):
+    _flush(document, path)
+
+
+def _flush(document, path):
+    path.write_text(json.dumps(document, sort_keys=True))

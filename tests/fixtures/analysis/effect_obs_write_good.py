@@ -1,0 +1,11 @@
+"""Good: the obs helper renders bytes; writing them is the CLI's job."""
+
+import json
+
+
+def render_snapshot(document):
+    return _render(document)
+
+
+def _render(document):
+    return json.dumps(document, sort_keys=True)

@@ -1,0 +1,19 @@
+"""Bad: a Thread-target path writes a module-level dict without a lock."""
+
+import threading
+
+_RESULTS = {}
+
+
+def start_collector():
+    worker = threading.Thread(target=_collect, daemon=True)
+    worker.start()
+    return worker
+
+
+def _collect():
+    _publish("latest", 1)
+
+
+def _publish(key, value):
+    _RESULTS[key] = value

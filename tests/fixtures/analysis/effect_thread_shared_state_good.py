@@ -1,0 +1,21 @@
+"""Good: the same thread-reachable write, serialized under a module lock."""
+
+import threading
+
+_RESULTS = {}
+_RESULTS_LOCK = threading.Lock()
+
+
+def start_collector():
+    worker = threading.Thread(target=_collect, daemon=True)
+    worker.start()
+    return worker
+
+
+def _collect():
+    _publish("latest", 1)
+
+
+def _publish(key, value):
+    with _RESULTS_LOCK:
+        _RESULTS[key] = value

@@ -1,0 +1,19 @@
+"""Bad: a fabric worker reads the environment through a helper."""
+
+import os
+
+POINT_WORKER = "effect_worker_env_bad:run_point"
+
+
+def run_point(payload):
+    return _configure(payload)
+
+
+def _configure(payload):
+    merged = dict(payload)
+    merged["jobs"] = _default_jobs()
+    return merged
+
+
+def _default_jobs():
+    return int(os.getenv("REPRO_JOBS", "1"))

@@ -1,0 +1,14 @@
+"""Good: environment configuration is resolved by the parent process and
+arrives through the payload."""
+
+POINT_WORKER = "effect_worker_env_good:run_point"
+
+
+def run_point(payload):
+    return _configure(payload)
+
+
+def _configure(payload):
+    merged = dict(payload)
+    merged["jobs"] = int(merged.get("jobs", 1))
+    return merged

@@ -1,0 +1,23 @@
+"""Bad: a fabric worker reaches a wall-clock read through a 3-deep chain.
+
+No single function looks suspicious — the worker is pure, the middle helper
+is pure — but ``run_cell -> _evaluate -> _stamp -> time.time()`` makes the
+worker transitively nondeterministic.
+"""
+
+import time
+
+CELL_WORKER = "effect_worker_purity_bad:run_cell"
+
+
+def run_cell(payload):
+    return _evaluate(payload)
+
+
+def _evaluate(payload):
+    return _stamp(dict(payload))
+
+
+def _stamp(result):
+    result["finished_at"] = time.time()
+    return result

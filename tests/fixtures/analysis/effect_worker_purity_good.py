@@ -1,0 +1,16 @@
+"""Good: the timestamp travels in the payload; the worker chain stays pure."""
+
+CELL_WORKER = "effect_worker_purity_good:run_cell"
+
+
+def run_cell(payload):
+    return _evaluate(payload)
+
+
+def _evaluate(payload):
+    return _stamp(dict(payload))
+
+
+def _stamp(result):
+    result["finished_at"] = result.pop("submitted_at")
+    return result

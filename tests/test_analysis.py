@@ -17,6 +17,7 @@ from repro.analysis import (
     render_human,
     render_json,
 )
+from repro.analysis.effects import clear_effect_cache
 from repro.analysis.framework import suppressions
 from repro.analysis.templates import clear_template_cache
 from repro.utils.validation import ValidationError
@@ -35,6 +36,8 @@ FIXTURE_RELPATH = {
     "det-env-read": "exec/{name}",
     "det-json-sort-keys": "exec/{name}",
     "obs-layering": "obs/{name}",
+    "effect-obs-write": "obs/{name}",
+    "effect-async-blocking": "serve/{name}",
 }
 
 
@@ -50,6 +53,7 @@ def relpath_for(rule_id, path):
 
 def run_rule(rule_id, path):
     clear_template_cache()
+    clear_effect_cache()
     rules = get_rules([rule_id])
     return analyze_file(path, rules=rules,
                         relpath=relpath_for(rule_id, path))
